@@ -1,0 +1,78 @@
+"""Ablation: the reduction design choices DESIGN.md calls out.
+
+Three knobs the paper motivates but does not sweep:
+
+1. width-optimised vs full-width shift-add reductions (the BP-3 ->
+   CryptoPIM step) in isolation;
+2. the Barrett ``k`` constant (small k = sparse multiplier + corrections
+   vs large k = dense multiplier, fewer corrections);
+3. the Montgomery radix ``R`` (narrow adds vs the NAF weight of q').
+"""
+
+from repro.pim.reduction_programs import (
+    PAPER_MODULI,
+    ReductionKit,
+    barrett_program,
+    montgomery_program,
+)
+
+
+def test_width_optimisation_saving(benchmark, save_artifact):
+    def measure():
+        out = {}
+        for q in PAPER_MODULI:
+            kit = ReductionKit.for_modulus(q)
+            out[q] = (
+                kit.barrett.cost().cycles,
+                kit.barrett.cost(width_optimised=False).cycles,
+                kit.montgomery.cost().cycles,
+                kit.montgomery.cost(width_optimised=False).cycles,
+            )
+        return out
+
+    results = benchmark(measure)
+    lines = ["Ablation: width-optimised vs full-width reductions",
+             "q       barrett  barrett-full  montgomery  montgomery-full  saving"]
+    for q, (b, bf, m, mf) in results.items():
+        saving = 1 - (b + m) / (bf + mf)
+        lines.append(f"{q:6d}  {b:7d}  {bf:12d}  {m:10d}  {mf:15d}  {100*saving:5.1f}%")
+        assert b <= bf and m < mf
+    save_artifact("ablation_widthopt", "\n".join(lines))
+
+
+def test_barrett_k_sweep(benchmark, save_artifact):
+    """Cycle cost of Barrett-12289 as a function of k."""
+    bound = 2 * 12288
+
+    def sweep():
+        return {k: barrett_program(12289, bound, k=k).cost().cycles
+                for k in range(14, 29)}
+
+    costs = benchmark(sweep)
+    lines = ["Ablation: Barrett k sweep (q=12289, post-addition inputs)",
+             "k   cycles"]
+    for k, cycles in costs.items():
+        lines.append(f"{k:2d}  {cycles}")
+    best = min(costs.values())
+    auto = barrett_program(12289, bound).cost().cycles
+    assert auto == best  # the automatic search finds the sweep's optimum
+    save_artifact("ablation_barrett_k", "\n".join(lines))
+
+
+def test_montgomery_r_sweep(benchmark, save_artifact):
+    """Cycle cost of Montgomery-12289 as a function of the radix."""
+    bound = (2 * 12289 - 2) * 12288
+
+    def sweep():
+        return {r: montgomery_program(12289, bound, r_bits=r).cost().cycles
+                for r in range(15, 31)}
+
+    costs = benchmark(sweep)
+    lines = ["Ablation: Montgomery radix sweep (q=12289)",
+             "r_bits  cycles"]
+    for r, cycles in costs.items():
+        lines.append(f"{r:6d}  {cycles}")
+    best = min(costs.values())
+    auto = montgomery_program(12289, bound).cost().cycles
+    assert auto == best
+    save_artifact("ablation_montgomery_r", "\n".join(lines))

@@ -1,0 +1,30 @@
+"""Gate-level simulation speed - the bit-level PimMachine itself.
+
+Not a paper figure: this benchmarks the reproduction's own bit-level
+simulator (full crossbar gate schedules for one polynomial multiplication)
+and re-asserts its cycle-consistency with the analytic model.
+"""
+
+import numpy as np
+
+from repro.arch.dataflow import PimMachine
+from repro.core.pipeline import PipelineModel
+
+
+def _run(n: int) -> PimMachine:
+    machine = PimMachine.for_degree(n)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, machine.params.q, n)
+    b = rng.integers(0, machine.params.q, n)
+    machine.multiply(a, b)
+    return machine
+
+
+def test_bitlevel_machine_256(benchmark):
+    machine = benchmark(_run, 256)
+    assert machine.counter.cycles == PipelineModel.for_degree(256).total_block_cycles()
+
+
+def test_bitlevel_machine_1024(benchmark):
+    machine = benchmark.pedantic(_run, args=(1024,), rounds=1, iterations=1)
+    assert machine.counter.cycles == PipelineModel.for_degree(1024).total_block_cycles()

@@ -1,0 +1,25 @@
+"""Headline claims - every ratio the paper quotes in prose, recomputed.
+
+This is the reproduction scoreboard: 31x FPGA throughput at ~the same
+energy with a ~28% performance reduction; 7.6x/111x/226x over the CPU;
+the pipelining and baseline ratios; the 25.6% Monte-Carlo margin loss.
+"""
+
+from repro.eval.claims import claims_by_name, headline_claims
+from repro.eval.report import render_claims
+
+
+def test_headline_claims(benchmark, save_artifact):
+    claims = benchmark(headline_claims)
+    assert len(claims) == 16
+    by_name = {c.name: c for c in claims}
+    # the abstract's central numbers must hold tightly
+    assert by_name["fpga_throughput_gain"].within(0.15)
+    assert by_name["fpga_performance_reduction_pct"].within(0.15)
+    assert by_name["cpu_performance_gain"].within(0.15)
+    save_artifact("claims", render_claims())
+
+
+def test_claims_lookup(benchmark):
+    claims = benchmark(claims_by_name)
+    assert claims["cpu_throughput_gain"].paper_value == 111.0

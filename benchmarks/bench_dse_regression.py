@@ -1,0 +1,55 @@
+"""Design-space exploration, interconnect sensitivity and golden checks."""
+
+from repro.arch.interconnect import latency_with_interbank_penalty, stage_traffic
+from repro.core.dse import enumerate_designs, pareto_front
+from repro.crypto.security import paper_parameter_review
+from repro.eval.regression import run_regressions
+
+
+def test_design_space_exploration(benchmark, save_artifact):
+    def explore():
+        points = enumerate_designs(1024)
+        return points, pareto_front(points)
+
+    points, front = benchmark(explore)
+    lines = ["Design-space exploration (n=1024): * = Pareto-optimal",
+             "configuration                   tput (/s)   energy (uJ)  area (mm^2)"]
+    for p in sorted(points, key=lambda x: -x.throughput_per_s):
+        star = "*" if p in front else " "
+        lines.append(f"{star} {p.label():28s} {p.throughput_per_s:10,.0f}  "
+                     f"{p.energy_uj:11.2f}  {p.area_mm2:11.3f}")
+    assert any(p.variant == "cryptopim" and p.gates == "felix" and p.pipelined
+               for p in front)
+    save_artifact("dse_pareto", "\n".join(lines))
+
+
+def test_interbank_penalty_sweep(benchmark, save_artifact):
+    def sweep():
+        return {f: latency_with_interbank_penalty(32768, f)
+                for f in (1.0, 2.0, 4.0, 8.0, 16.0)}
+
+    latencies = benchmark(sweep)
+    crossing = sum(1 for t in stage_traffic(32768) if t.crosses_banks)
+    lines = [f"Inter-bank transfer penalty sweep (n=32k, {crossing} "
+             f"crossing stages per transform)",
+             "penalty  latency (us)  vs paper"]
+    base = latencies[1.0]
+    for f, lat in latencies.items():
+        lines.append(f"{f:7.1f}  {lat:12.2f}  {lat / base:7.3f}x")
+    assert latencies[16.0] / base < 1.3
+    save_artifact("interbank_penalty", "\n".join(lines))
+
+
+def test_security_review(benchmark, save_artifact):
+    review = benchmark(paper_parameter_review)
+    lines = ["Security review of the paper's rings (coarse LP-2011 estimate,",
+             "plain-RLWE dimension; module schemes multiply n by their rank)"]
+    lines += [str(est) for est in review.values()]
+    assert review[32768].bits > review[1024].bits > 100
+    save_artifact("security_review", "\n".join(lines))
+
+
+def test_golden_regressions(benchmark, save_artifact):
+    results = benchmark(run_regressions)
+    assert all(r.ok for r in results), [str(r) for r in results if not r.ok]
+    save_artifact("regressions", "\n".join(str(r) for r in results))

@@ -1,0 +1,152 @@
+"""Extension benchmarks: beyond the paper's published evaluation.
+
+* controller microcode compilation (the Synopsys-synthesised controller,
+  reproduced at microcode level);
+* chip-level workload scheduling (what the configurability buys);
+* segmented >32k multiplication (Section III-D.2's one-sentence feature,
+  implemented properly via CRT splitting);
+* the incomplete NTT for Kyber round-3's q=3329.
+"""
+
+import numpy as np
+
+from repro.arch.segmented import SegmentedMultiplier
+from repro.core.controller import compile_multiplication
+from repro.core.pipeline import PipelineModel
+from repro.core.scheduler import ChipScheduler, MultiplicationJob
+from repro.ntt.incomplete import KYBER_ROUND3_Q, IncompleteNtt
+
+
+def test_controller_compilation(benchmark):
+    model = PipelineModel.for_degree(32768)
+
+    program = benchmark(compile_multiplication, model)
+    assert program.total_cycles == model.latency_cycles(False)
+
+
+def test_scheduler_mixed_workload(benchmark, save_artifact):
+    scheduler = ChipScheduler()
+    jobs = [
+        MultiplicationJob(256, 10_000),   # key-exchange traffic
+        MultiplicationJob(1024, 2_000),
+        MultiplicationJob(8192, 200),     # HE evaluation
+        MultiplicationJob(32768, 50),
+    ]
+
+    report = benchmark(scheduler.schedule, jobs)
+    assert report.total_multiplications == 12_250
+    save_artifact("scheduler_mixed", str(report))
+
+
+def test_segmented_65536(benchmark):
+    """A 65536-degree multiplication as 2 x 32k hardware passes."""
+    sm = SegmentedMultiplier(65536)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, sm.q, 65536)
+    b = rng.integers(0, sm.q, 65536)
+
+    out = benchmark.pedantic(sm.multiply, args=(a, b), rounds=1, iterations=1)
+    assert len(out) == 65536
+
+
+def test_segmented_cost_table(benchmark, save_artifact):
+    """Latency/energy of beyond-native degrees = passes x native cost."""
+
+    def build():
+        native = PipelineModel.for_degree(32768).report(True)
+        rows = []
+        for n in (32768, 65536, 131072):
+            passes = max(1, n // 32768)
+            rows.append((n, passes,
+                         passes * native.latency_us,
+                         passes * native.energy_uj))
+        return rows
+
+    rows = benchmark(build)
+    lines = ["Beyond-native degrees (CRT-segmented onto the 32k hardware)",
+             "N        passes  latency (us)  energy (uJ)"]
+    for n, passes, lat, energy in rows:
+        lines.append(f"{n:7d}  {passes:6d}  {lat:12.2f}  {energy:11.2f}")
+    save_artifact("segmented_cost", "\n".join(lines))
+
+
+def test_incomplete_ntt_kyber3329(benchmark):
+    """Kyber round-3 multiplication (q=3329, 1-incomplete NTT)."""
+    ntt = IncompleteNtt(256, KYBER_ROUND3_Q, levels=1)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, KYBER_ROUND3_Q, 256).tolist()
+    b = rng.integers(0, KYBER_ROUND3_Q, 256).tolist()
+
+    out = benchmark(ntt.multiply, a, b)
+    assert len(out) == 256
+
+
+def test_incomplete_levels_sweep(benchmark, save_artifact):
+    """Base-multiplication growth as the NTT gets more incomplete."""
+
+    def sweep():
+        return {lv: IncompleteNtt(256, KYBER_ROUND3_Q, lv).base_multiplications()
+                for lv in range(1, 6)}
+
+    counts = benchmark(sweep)
+    lines = ["Incomplete-NTT levels sweep (n=256, q=3329)",
+             "levels  slot degree  base multiplications"]
+    for lv, count in counts.items():
+        lines.append(f"{lv:6d}  {2**lv:11d}  {count:20d}")
+    assert list(counts.values()) == sorted(counts.values())
+    save_artifact("incomplete_sweep", "\n".join(lines))
+
+
+def test_area_rollup(benchmark, save_artifact):
+    """Relative area across degrees + the crossbar-switch penalty."""
+    from repro.arch.area import AreaModel
+
+    def build():
+        model = AreaModel()
+        return [(n, model.multiplication_area(n),
+                 model.crossbar_switch_penalty(n))
+                for n in (256, 1024, 8192, 32768)]
+
+    rows = benchmark(build)
+    lines = ["Area roll-up (45 nm, relative model) and what full crossbar "
+             "switches would cost",
+             "N       total mm^2  switch mm^2  crossbar-switch penalty"]
+    for n, report, penalty in rows:
+        lines.append(f"{n:6d}  {report.total_mm2:10.2f}  "
+                     f"{report.switches_mm2:11.3f}  {penalty:8.2f}x")
+    save_artifact("area_rollup", "\n".join(lines))
+
+
+def test_cycle_attribution(benchmark, save_artifact):
+    """Where the cycles go, per datapath width (Section IV-B's premise)."""
+    from repro.core.pipeline import PipelineModel
+    from repro.core.tracing import attribute_cycles, dominance_ratio
+
+    def build():
+        return {n: (attribute_cycles(PipelineModel.for_degree(n)),
+                    dominance_ratio(PipelineModel.for_degree(n)))
+                for n in (256, 2048)}
+
+    results = benchmark(build)
+    lines = []
+    for n, (attribution, ratio) in results.items():
+        lines.append(attribution.breakdown())
+        lines.append(f"  slowest/second-slowest block ratio: {ratio:.2f}x")
+        assert attribution.share("multiply") > 0.4
+    save_artifact("cycle_attribution", "\n".join(lines))
+
+
+def test_wire_sizes(benchmark, save_artifact):
+    """Serialized key/ciphertext sizes across the paper degrees."""
+    from repro.crypto.serialization import wire_sizes
+
+    def build():
+        return {n: wire_sizes(n) for n in (256, 512, 1024, 2048, 32768)}
+
+    sizes = benchmark(build)
+    lines = ["Wire sizes (bit-packed coefficients)",
+             "N       poly (B)  public key (B)  ciphertext (B)"]
+    for n, (poly, pk, ct) in sizes.items():
+        lines.append(f"{n:6d}  {poly:8d}  {pk:14d}  {ct:14d}")
+    assert sizes[1024][1] < 4096
+    save_artifact("wire_sizes", "\n".join(lines))

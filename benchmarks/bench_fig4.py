@@ -1,0 +1,43 @@
+"""Figure 4 - stage-by-stage pipeline breakdown of the three variants.
+
+Paper values at n=256 / 16-bit: 2700 (area-efficient), 1756 (naive),
+1643 (CryptoPIM) cycles per stage.  The CryptoPIM stage latency must be
+exactly 1643 (it also anchors all Table II latencies).
+"""
+
+from repro.core.config import PipelineVariant
+from repro.core.pipeline import PipelineModel
+from repro.eval.experiments import figure4
+from repro.eval.report import render_figure4
+
+
+def test_figure4_breakdown(benchmark, save_artifact):
+    data = benchmark(figure4, 256)
+    stage = {v: max(b.cycles for b in blocks) for v, blocks in data.items()}
+    assert stage["cryptopim"] == 1643
+    assert stage["area-efficient"] > stage["naive"] > stage["cryptopim"]
+    save_artifact("figure4", render_figure4(256))
+
+
+def test_figure4_32bit_breakdown(benchmark, save_artifact):
+    data = benchmark(figure4, 2048)
+    stage = {v: max(b.cycles for b in blocks) for v, blocks in data.items()}
+    assert stage["cryptopim"] == 6611
+    save_artifact("figure4_32bit", render_figure4(2048))
+
+
+def test_figure4_variant_sweep(benchmark):
+    """Stage latency of every variant at every paper degree."""
+    from repro.ntt.params import PAPER_DEGREES
+
+    def sweep():
+        return {
+            (n, v.value): PipelineModel.for_degree(n, variant=v).stage_cycles
+            for n in PAPER_DEGREES
+            for v in PipelineVariant
+        }
+
+    stages = benchmark(sweep)
+    for n in PAPER_DEGREES:
+        assert (stages[(n, "area-efficient")] > stages[(n, "naive")]
+                > stages[(n, "cryptopim")])

@@ -1,0 +1,48 @@
+"""Figure 5 - normalised latency & throughput, non-pipelined vs pipelined.
+
+The paper's observations this regenerates:
+* pipelined throughput is flat per bit-width (553,311/s and 137,511/s);
+* pipelining multiplies throughput ~30x at some latency overhead;
+* the 32-bit pipeline is less balanced (larger overhead) than the 16-bit;
+* pipelining costs only ~1.6% extra energy.
+"""
+
+from repro.eval.experiments import figure5
+from repro.eval.report import render_figure5
+
+
+def test_figure5_series(benchmark, save_artifact):
+    rows = benchmark(figure5)
+    assert len(rows) == 8
+    p_tputs_16 = {r.p_throughput for r in rows if r.n <= 1024}
+    p_tputs_32 = {r.p_throughput for r in rows if r.n > 1024}
+    assert len(p_tputs_16) == 1 and len(p_tputs_32) == 1
+    for row in rows:
+        assert row.throughput_gain > 20
+        assert 0 < row.energy_increase < 0.05
+    save_artifact("figure5", render_figure5())
+
+
+def test_figure5_normalised_series(benchmark, save_artifact):
+    """The normalised view the paper plots (base = n=256 non-pipelined)."""
+
+    def normalise():
+        rows = figure5()
+        base_lat = rows[0].np_latency_us
+        base_tput = rows[0].np_throughput
+        return [
+            (r.n,
+             r.np_latency_us / base_lat, r.p_latency_us / base_lat,
+             r.np_throughput / base_tput, r.p_throughput / base_tput)
+            for r in rows
+        ]
+
+    series = benchmark(normalise)
+    lines = ["Figure 5 (normalised to n=256 non-pipelined)",
+             "N       NP-lat   P-lat    NP-tput  P-tput"]
+    for n, nl, pl, nt, pt in series:
+        lines.append(f"{n:6d}  {nl:7.2f}  {pl:7.2f}  {nt:7.3f}  {pt:7.2f}")
+    save_artifact("figure5_normalised", "\n".join(lines))
+    # latency grows with n; pipelined throughput does not decay with n
+    assert series[-1][1] > series[0][1]
+    assert series[-1][4] == series[3][4]

@@ -1,0 +1,26 @@
+"""Figure 6 - CryptoPIM vs the BP-1/BP-2/BP-3 PIM baselines.
+
+Regenerates the non-pipelined latency series for every degree and checks
+the paper's ordering and speedup bands (1.9x / 5.5x / 1.2x / 12.7x).
+"""
+
+import statistics
+
+from repro.eval.experiments import figure6
+from repro.eval.report import render_figure6
+
+
+def test_figure6_series(benchmark, save_artifact):
+    rows = benchmark(figure6)
+    for row in rows:
+        lat = row.latency_us
+        assert lat["BP-1"] > lat["BP-2"] > lat["BP-3"] > lat["CryptoPIM"]
+    overall = statistics.mean(r.speedup("BP-1", "CryptoPIM") for r in rows)
+    assert 9.0 <= overall <= 19.0  # paper: 12.7x
+    save_artifact("figure6", render_figure6())
+
+
+def test_figure6_single_degree(benchmark):
+    """Baseline evaluation at the paper's largest degree."""
+    rows = benchmark(figure6, [32768])
+    assert rows[0].speedup("BP-1", "CryptoPIM") > 9

@@ -1,0 +1,54 @@
+"""Runnable CPU anchor - wall-clock timing of this library's software NTT.
+
+The paper's CPU column comes from gem5; absolute host numbers differ, but
+the n*log(n) *shape* must hold, and the benchmark records both for
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from repro.baselines.cpu import measure_software_latency
+from repro.ntt.transform import NttEngine
+
+
+def test_software_ntt_256(benchmark):
+    engine = NttEngine.for_degree(256)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, engine.q, 256).astype(np.uint64)
+    b = rng.integers(0, engine.q, 256).astype(np.uint64)
+    out = benchmark(engine.multiply, a, b)
+    assert len(out) == 256
+
+
+def test_software_ntt_4096(benchmark):
+    engine = NttEngine.for_degree(4096)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, engine.q, 4096).astype(np.uint64)
+    b = rng.integers(0, engine.q, 4096).astype(np.uint64)
+    out = benchmark(engine.multiply, a, b)
+    assert len(out) == 4096
+
+
+def test_software_ntt_32768(benchmark):
+    engine = NttEngine.for_degree(32768)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, engine.q, 32768).astype(np.uint64)
+    b = rng.integers(0, engine.q, 32768).astype(np.uint64)
+    out = benchmark(engine.multiply, a, b)
+    assert len(out) == 32768
+
+
+def test_software_scaling_shape(benchmark, save_artifact):
+    """One sweep: host latency across all degrees (shape anchor)."""
+
+    def sweep():
+        return {n: measure_software_latency(n, repeats=1)
+                for n in (256, 1024, 4096, 16384)}
+
+    latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Host software NTT latency (this machine, not gem5)",
+             "N       latency (us)"]
+    for n, us in latencies.items():
+        lines.append(f"{n:6d}  {us:12.1f}")
+    save_artifact("software_ntt", "\n".join(lines))
+    assert latencies[16384] > latencies[256]

@@ -1,0 +1,50 @@
+"""Table I - modulo-operation cycle counts.
+
+Regenerates the Barrett/Montgomery cycle table for q in
+{7681, 12289, 786433} and times both the program *generation* (the NAF
+search) and a vectorised in-memory *execution* of each reduction.
+"""
+
+import numpy as np
+
+from repro.eval.report import render_table1
+from repro.pim.reduction_programs import ReductionKit, montgomery_program
+from repro.pim.shiftadd import ShiftAddProgram
+
+
+def test_table1_rows(benchmark, save_artifact):
+    """Regenerate Table I (cycle counts come from the cost engine)."""
+    from repro.eval.experiments import table1
+
+    rows = benchmark(table1)
+    assert len(rows) == 6
+    save_artifact("table1", render_table1())
+
+
+def test_table1_program_generation(benchmark):
+    """Cost of deriving a Montgomery program (incl. the r_bits search)."""
+
+    def generate() -> ShiftAddProgram:
+        return montgomery_program(12289, input_bound=(2 * 12289 - 2) * 12288)
+
+    program = benchmark(generate)
+    assert program.cost().cycles > 0
+
+
+def test_table1_vectorised_barrett_execution(benchmark):
+    """Executing the Barrett program over a 4096-element vector."""
+    kit = ReductionKit.for_modulus(12289)
+    xs = np.random.default_rng(0).integers(0, 2 * 12288, 4096).astype(object)
+
+    out = benchmark(kit.barrett.run, xs)
+    assert (out.astype(np.int64) == xs.astype(np.int64) % 12289).all()
+
+
+def test_table1_vectorised_montgomery_execution(benchmark):
+    """Executing the Montgomery program over a 4096-element vector."""
+    kit = ReductionKit.for_modulus(786433)
+    xs = np.random.default_rng(0).integers(
+        0, (786433 - 1) ** 2, 4096).astype(object)
+
+    out = benchmark(kit.montgomery.run, xs)
+    assert (out < 786433).all()

@@ -1,0 +1,48 @@
+"""Table II - latency / energy / throughput: CPU vs FPGA vs CryptoPIM.
+
+Regenerates all 19 rows (8 CPU, 3 FPGA, 8 CryptoPIM) and checks the
+CryptoPIM rows against the published values.  The timed quantity is the
+full pipeline-model evaluation across every degree.
+"""
+
+import pytest
+
+from repro.core.pipeline import PipelineModel
+from repro.eval.experiments import table2
+from repro.eval.report import render_table2
+from repro.ntt.params import PAPER_DEGREES
+
+PAPER_LATENCY_US = {
+    256: 68.67, 512: 75.90, 1024: 83.12, 2048: 363.60,
+    4096: 392.69, 8192: 421.78, 16384: 450.87, 32768: 479.95,
+}
+
+
+def test_table2_rows(benchmark, save_artifact):
+    rows = benchmark(table2)
+    assert len(rows) == 19
+    cryptopim = {r.n: r for r in rows if r.design == "cryptopim"}
+    for n, paper_us in PAPER_LATENCY_US.items():
+        assert cryptopim[n].latency_us == pytest.approx(paper_us, rel=1e-3)
+    save_artifact("table2", render_table2())
+
+
+def test_table2_single_model_evaluation(benchmark):
+    """One full 32k pipeline model evaluation (the largest configuration)."""
+
+    def evaluate():
+        return PipelineModel.for_degree(32768).report(pipelined=True)
+
+    report = benchmark(evaluate)
+    assert report.latency_us == pytest.approx(479.95, rel=1e-3)
+
+
+def test_table2_all_degrees_sweep(benchmark):
+    """The whole CryptoPIM column in one sweep."""
+
+    def sweep():
+        return [PipelineModel.for_degree(n).report(True).latency_us
+                for n in PAPER_DEGREES]
+
+    latencies = benchmark(sweep)
+    assert latencies == sorted(latencies)

@@ -1,0 +1,92 @@
+"""Error resilience end to end: faults -> ECC -> runtime verification.
+
+The paper argues robustness statistically (5000 Monte-Carlo runs, 25.6%
+worst-case margin loss, zero failures).  This example walks the
+complementary *engineering* story built in this repository:
+
+1. inject a stuck-at fault and watch it corrupt exactly one row's result;
+2. protect the stored operands with Hamming SEC-DED and watch the same
+   fault get corrected for ~6 extra columns per word;
+3. wrap the accelerator in a Freivalds self-check that catches whatever
+   slips through, at O(n) cost per check.
+
+Run:  python examples/error_resilience.py
+"""
+
+import numpy as np
+
+from repro import CryptoPIM
+from repro.core.verify import SelfCheckingBackend, VerificationError
+from repro.ntt.params import params_for_degree
+from repro.ntt.transform import NttEngine
+from repro.pim.ecc import ProtectedField
+from repro.pim.faults import Fault, FaultKind, FaultyVectorUnit
+
+
+def blast_radius() -> None:
+    print("=== 1. A single bad cell ===")
+    rng = np.random.default_rng(1)
+    q, width = 7681, 16
+    a = rng.integers(0, q, 32).astype(np.uint64)
+    b = rng.integers(0, q, 32).astype(np.uint64)
+    unit = FaultyVectorUnit(q, width, [Fault(row=7, bit=0,
+                                             kind=FaultKind.STUCK_AT_1)])
+    errors = unit.error_rows(a, b)
+    print(f"stuck-at-1 on row 7's MSB corrupts rows {errors.tolist()} "
+          f"(row-parallel PIM: the blast radius is one row)")
+
+
+def ecc_rescue() -> None:
+    print("\n=== 2. SEC-DED on the stored operands ===")
+    rng = np.random.default_rng(2)
+    field = ProtectedField(16)
+    values = rng.integers(0, 2**16, 32).astype(np.uint64)
+    result = field.survive(values, [(7, 3)])  # same kind of single fault
+    assert np.array_equal(result.data, values)
+    print(f"flip at (row 7, bit 3): corrected rows {result.corrected_rows.tolist()}, "
+          f"data intact; cost = {field.code.overhead_columns} extra columns "
+          f"per 16-bit word and ~{field.code.encode_cycles()} encode cycles")
+    double = field.survive(values, [(4, 0), (4, 9)])
+    print(f"double fault in row 4: detected (not miscorrected) -> "
+          f"rows {double.detected_rows.tolist()} flagged for retry")
+
+
+def runtime_verification() -> None:
+    print("\n=== 3. Freivalds spot-checks on live results ===")
+    n = 1024
+    params = params_for_degree(n)
+    rng = np.random.default_rng(3)
+
+    healthy = SelfCheckingBackend(CryptoPIM.for_degree(n), params,
+                                  rng=np.random.default_rng(4))
+    a = rng.integers(0, params.q, n)
+    b = rng.integers(0, params.q, n)
+    healthy.multiply(a, b)
+    print(f"healthy accelerator: {healthy.checked} check(s), "
+          f"{healthy.failures} failures "
+          f"(each check = 3 Horner evaluations, O(n))")
+
+    class SilentlyBroken:
+        """An accelerator whose 5th output coefficient went bad."""
+
+        def __init__(self):
+            self.engine = NttEngine(params)
+
+        def multiply(self, x, y):
+            out = self.engine.multiply(x, y).copy()
+            out[5] = (out[5] + np.uint64(1)) % np.uint64(params.q)
+            return out
+
+    guarded = SelfCheckingBackend(SilentlyBroken(), params,
+                                  rng=np.random.default_rng(5))
+    try:
+        guarded.multiply(a, b)
+        print("corruption NOT caught (probability ~1/n per round)")
+    except VerificationError:
+        print("single corrupted coefficient caught on the first check.")
+
+
+if __name__ == "__main__":
+    blast_radius()
+    ecc_rescue()
+    runtime_verification()

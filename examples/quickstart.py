@@ -1,0 +1,52 @@
+"""Quickstart: multiply two polynomials on the simulated CryptoPIM.
+
+Builds the paper's n=1024 configuration (NewHope ring, 16-bit datapath),
+runs one negacyclic polynomial multiplication, verifies it against the
+software NTT engine, and prints the hardware report - the numbers of
+Table II's n=1024 row.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CryptoPIM, NttEngine, params_for_degree
+
+
+def main() -> None:
+    n = 1024
+    params = params_for_degree(n)
+    print(f"Ring: Z_{params.q}[x]/(x^{n} + 1), {params.bitwidth}-bit datapath")
+
+    rng = np.random.default_rng(2020)
+    a = rng.integers(0, params.q, n)
+    b = rng.integers(0, params.q, n)
+
+    # --- the accelerator ---------------------------------------------------
+    accelerator = CryptoPIM.for_degree(n)
+    product = accelerator.multiply(a, b)
+
+    report = accelerator.last_report
+    print("\nCryptoPIM (pipelined):")
+    print(f"  pipeline depth   : {report.depth_blocks} memory blocks")
+    print(f"  stage latency    : {report.stage_cycles} cycles "
+          f"({report.stage_cycles * 1.1:.0f} ns)")
+    print(f"  latency          : {report.latency_us:.2f} us   (paper: 83.12)")
+    print(f"  throughput       : {report.throughput_per_s:,.0f} mult/s "
+          f"(paper: 553,311)")
+    print(f"  energy           : {report.energy_uj:.2f} uJ   (paper: 11.04)")
+
+    # --- cross-check against the software reference ---------------------------
+    software = NttEngine(params).multiply(a, b)
+    assert np.array_equal(product, software), "accelerator disagrees with NTT!"
+    print("\nResult verified against the software Gentleman-Sande engine.")
+
+    # --- the architecture behind it -----------------------------------------------
+    plan = accelerator.bank_plan()
+    print(f"\nBank plan for n={n}: {plan.blocks_per_bank} blocks/bank, "
+          f"{plan.banks_per_multiplication} banks per multiplication, "
+          f"{plan.total_switches} fixed-function switches.")
+
+
+if __name__ == "__main__":
+    main()

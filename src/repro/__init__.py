@@ -1,0 +1,56 @@
+"""repro: a full reproduction of CryptoPIM (DAC 2020).
+
+CryptoPIM is a ReRAM processing-in-memory accelerator for NTT-based
+polynomial multiplication over Z_q[x]/(x^n + 1), the core kernel of
+lattice-based (post-quantum and homomorphic) cryptography.
+
+Quickstart::
+
+    from repro import CryptoPIM
+    acc = CryptoPIM.for_degree(1024)
+    result = acc.multiply(a, b)        # functional product + timing report
+    print(acc.last_report)
+
+Subpackages:
+  ntt        -- modular math, Gentleman-Sande NTT, parameter sets
+  pim        -- bit-level ReRAM crossbar simulator and in-memory ALU
+  arch       -- banks / softbanks / superbanks, dataflow mapping
+  core       -- the CryptoPIM accelerator and its pipelines
+  baselines  -- BP-1/2/3 PIM baselines, CPU and FPGA comparators
+  crypto     -- RLWE encryption / KEM / BGV workloads built on top
+  eval       -- regenerates every table and figure of the paper
+"""
+
+__version__ = "1.0.0"
+
+from .core import (  # noqa: E402
+    CryptoPIM,
+    CryptoPimConfig,
+    MultiplicationReport,
+    PipelineModel,
+    PipelineVariant,
+)
+from .ntt import (  # noqa: E402
+    NttEngine,
+    NttParams,
+    PAPER_DEGREES,
+    Polynomial,
+    params_for_degree,
+)
+from .arch import CryptoPimChip, PimMachine  # noqa: E402
+
+__all__ = [
+    "CryptoPIM",
+    "CryptoPimChip",
+    "CryptoPimConfig",
+    "MultiplicationReport",
+    "NttEngine",
+    "NttParams",
+    "PAPER_DEGREES",
+    "PimMachine",
+    "Polynomial",
+    "PipelineModel",
+    "PipelineVariant",
+    "params_for_degree",
+    "__version__",
+]

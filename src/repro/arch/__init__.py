@@ -1,0 +1,14 @@
+"""CryptoPIM configurable architecture: banks, softbanks, chip, dataflow."""
+
+from .area import AreaModel, AreaReport
+from .bank import BANK_WIDTH, BankPlan, plan_bank
+from .chip import MAX_NATIVE_DEGREE, ChipConfiguration, CryptoPimChip
+from .dataflow import PimMachine
+from .interconnect import (
+    bank_level_strides,
+    latency_with_interbank_penalty,
+    stage_traffic,
+)
+from .segmented import SegmentedMultiplier
+
+__all__ = [name for name in dir() if not name.startswith("_")]

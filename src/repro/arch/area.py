@@ -1,0 +1,105 @@
+"""Relative area model at the paper's 45 nm node.
+
+The paper's area argument for fixed-function switches (Section III-C,
+Figure 3): a traditional crossbar switch needs a connection for *every*
+input/output pair - logic grows quadratically with rows - while the
+CryptoPIM switch has exactly three logic switches per row regardless of
+row count.  This module quantifies that claim and provides chip-level
+area roll-ups.
+
+Constants are engineering estimates, clearly relative: ReRAM cells at the
+canonical 4F^2 crossbar density, switch/controller logic in F^2 units.
+Absolute mm^2 should be read as "same ballpark", ratios as meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import PipelineVariant
+from .bank import BANK_WIDTH, plan_bank
+
+__all__ = ["AreaModel", "AreaReport"]
+
+#: 45 nm feature size in micrometres
+FEATURE_UM = 0.045
+#: crossbar ReRAM cell footprint: 4 F^2
+CELL_F2 = 4.0
+#: one switch transistor pair (pass gate + control): ~30 F^2
+SWITCH_ELEMENT_F2 = 30.0
+#: per-block peripheral overhead (drivers, sense) as a fraction of the array
+PERIPHERY_FRACTION = 0.25
+#: controller area per bank, F^2 (synthesised FSM + microcode store)
+CONTROLLER_PER_BANK_F2 = 2.0e6
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area roll-up for one configuration, in mm^2."""
+
+    blocks_mm2: float
+    switches_mm2: float
+    controller_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.blocks_mm2 + self.switches_mm2 + self.controller_mm2
+
+    def __str__(self) -> str:
+        return (f"{self.total_mm2:.2f} mm^2 "
+                f"(blocks {self.blocks_mm2:.2f}, switches "
+                f"{self.switches_mm2:.3f}, controller {self.controller_mm2:.3f})")
+
+
+class AreaModel:
+    """Area calculator for blocks, switches and full multiplications."""
+
+    def __init__(self, feature_um: float = FEATURE_UM):
+        if feature_um <= 0:
+            raise ValueError("feature size must be positive")
+        self.feature_um = feature_um
+        self._f2_to_mm2 = (feature_um * 1e-3) ** 2
+
+    # -- primitives ---------------------------------------------------------
+
+    def block_mm2(self, rows: int = BANK_WIDTH, cols: int = BANK_WIDTH) -> float:
+        """One PIM memory block: 4F^2 cells + peripheral fraction."""
+        cells = rows * cols * CELL_F2
+        return cells * (1 + PERIPHERY_FRACTION) * self._f2_to_mm2
+
+    def fixed_function_switch_mm2(self, rows: int = BANK_WIDTH) -> float:
+        """The paper's switch: 3 logic switches per row, period."""
+        return 3 * rows * SWITCH_ELEMENT_F2 * self._f2_to_mm2
+
+    def crossbar_switch_mm2(self, rows: int = BANK_WIDTH) -> float:
+        """A full crossbar switch: every row reaches every row."""
+        return rows * rows * SWITCH_ELEMENT_F2 * self._f2_to_mm2
+
+    def switch_area_ratio(self, rows: int = BANK_WIDTH) -> float:
+        """How much larger a full crossbar switch is: rows / 3."""
+        return self.crossbar_switch_mm2(rows) / self.fixed_function_switch_mm2(rows)
+
+    # -- roll-ups --------------------------------------------------------------
+
+    def multiplication_area(
+        self, n: int, variant: PipelineVariant = PipelineVariant.CRYPTOPIM
+    ) -> AreaReport:
+        """Area of the banks serving one degree-``n`` multiplication."""
+        plan = plan_bank(n, variant)
+        return AreaReport(
+            blocks_mm2=plan.total_blocks * self.block_mm2(),
+            switches_mm2=plan.total_switches * self.fixed_function_switch_mm2(),
+            controller_mm2=(plan.banks_per_multiplication
+                            * CONTROLLER_PER_BANK_F2 * self._f2_to_mm2),
+        )
+
+    def crossbar_switch_penalty(
+        self, n: int, variant: PipelineVariant = PipelineVariant.CRYPTOPIM
+    ) -> float:
+        """Total-area multiplier if fixed-function switches were replaced
+        by full crossbar switches (the road not taken)."""
+        base = self.multiplication_area(n, variant)
+        plan = plan_bank(n, variant)
+        crossbar_switches = plan.total_switches * self.crossbar_switch_mm2()
+        alt_total = base.blocks_mm2 + crossbar_switches + base.controller_mm2
+        return alt_total / base.total_mm2

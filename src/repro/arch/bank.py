@@ -1,0 +1,90 @@
+"""Memory banks: cascaded stage blocks behind fixed-function switches.
+
+Section III-D.2: a set of cascaded memory blocks maps to one memory bank; a
+bank takes 512 parallel inputs and streams them through its block cascade,
+so it can process (a 512-element slice of) one polynomial.  Resource
+accounting reproduces the paper's sizing: a 32k CryptoPIM pipeline needs
+49 blocks per bank and 128 banks per multiplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List
+
+from ..core.config import PipelineVariant
+from ..core.stages import StageBlock, build_blocks
+
+__all__ = ["BankPlan", "plan_bank"]
+
+#: vector elements one bank ingests in parallel (block rows)
+BANK_WIDTH = 512
+
+
+def _physical_blocks(n: int, variant: PipelineVariant) -> List[StageBlock]:
+    """Every physical block of one multiplication, multiplicity expanded."""
+    expanded: List[StageBlock] = []
+    for block in build_blocks(n, variant):
+        expanded.extend([block] * block.multiplicity)
+    return expanded
+
+
+@dataclass(frozen=True)
+class BankPlan:
+    """Static resource plan of one bank for a given (n, variant).
+
+    Attributes:
+        n: polynomial degree the plan serves.
+        variant: pipeline organisation.
+        blocks_per_bank: memory blocks cascaded inside each bank.  The
+            paper's 32k CryptoPIM pipeline: 49.
+        banks_per_polynomial: 512-wide slices per input polynomial
+            (``b_m`` in the paper; 64 for 32k).
+        banks_per_multiplication: a *superbank* - both input polynomials'
+            softbanks (128 for 32k).
+        switches_per_bank: fixed-function switches between cascaded blocks.
+    """
+
+    n: int
+    variant: PipelineVariant
+    blocks_per_bank: int
+    banks_per_polynomial: int
+    banks_per_multiplication: int
+    switches_per_bank: int
+
+    @property
+    def total_blocks(self) -> int:
+        return self.blocks_per_bank * self.banks_per_multiplication
+
+    @property
+    def total_switches(self) -> int:
+        # inter-block switches inside banks plus one inter-bank switch per
+        # adjacent bank pair inside each softbank (Section III-D.2).
+        inter_bank = max(0, self.banks_per_polynomial - 1) * 2
+        return self.switches_per_bank * self.banks_per_multiplication + inter_bank
+
+
+def plan_bank(n: int, variant: PipelineVariant = PipelineVariant.CRYPTOPIM,
+              bank_width: int = BANK_WIDTH) -> BankPlan:
+    """Size the bank structure for degree ``n``.
+
+    The physical block count of the whole multiplication is split evenly
+    between the two input polynomials' bank sets: each bank carries its
+    slice's private 'pre'/'fwd' blocks plus half of the shared
+    pointwise/inverse/post tail.  ``bank_width`` (block rows) defaults to
+    the paper's 512; the block-size ablation sweeps it.
+    """
+    if bank_width < 1:
+        raise ValueError("bank width must be positive")
+    physical = len(_physical_blocks(n, variant))
+    blocks_per_bank = ceil(physical / 2)
+    banks_per_poly = max(1, ceil(n / bank_width))
+    return BankPlan(
+        n=n,
+        variant=variant,
+        blocks_per_bank=blocks_per_bank,
+        banks_per_polynomial=banks_per_poly,
+        banks_per_multiplication=2 * banks_per_poly,
+        switches_per_bank=max(0, blocks_per_bank - 1),
+    )

@@ -1,0 +1,198 @@
+"""Bit-level functional dataflow of one polynomial multiplication.
+
+:class:`PimMachine` executes Algorithm 1 exactly the way the hardware does:
+
+* inputs are written **bit-reversed** into the first blocks' rows (the free
+  write-time permutation of Section III-B.2);
+* constants (phi powers, twiddles, final scale factors) sit in data columns
+  of their stage blocks, pre-scaled into the **Montgomery domain** so that
+  every REDC after a multiplication lands back in the plain domain;
+* each Gentleman-Sande stage receives its operands through a
+  :class:`~repro.pim.switch.FixedFunctionSwitch` with hard-wired stride
+  ``s = 2^i`` (rows keep their own value and receive their butterfly
+  partner's copy);
+* all arithmetic runs through :class:`~repro.pim.block.PimBlock` - genuine
+  row-parallel gate schedules on crossbar bits, metered by a shared
+  :class:`~repro.pim.logic.CycleCounter`.
+
+The metered totals are provably consistent with the analytic
+:class:`~repro.core.pipeline.PipelineModel`: ``counter.cycles`` equals the
+model's ``total_block_cycles()`` (tests assert this), which is what makes
+the analytic Table II numbers trustworthy.
+
+Montgomery factor bookkeeping (R is the kit's Montgomery radix):
+
+=============  =========================  ===========================
+phase          constant stored            value after REDC
+=============  =========================  ===========================
+pre-scale      ``phi^i * R``              ``a_i * phi^i``      (plain)
+fwd butterfly  ``w^j * R``                stays plain
+pointwise      (none - two data values)   ``A_i * B_i * R^-1``
+inv butterfly  ``w^-j * R``               keeps the ``R^-1``
+post-scale     ``n^-1 phi^-i * R^2``      ``c_i``              (plain)
+=============  =========================  ===========================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..ntt.bitrev import bitrev_indices
+from ..ntt.params import NttParams, params_for_degree
+from ..pim.block import PimBlock
+from ..pim.logic import CycleCounter, transfer_cycles
+from ..pim.reduction_programs import ReductionKit
+from ..pim.switch import FixedFunctionSwitch
+from ..core.stages import WRITE_OVERHEAD_FACTOR
+
+__all__ = ["PimMachine"]
+
+
+class PimMachine:
+    """Functional, cycle-metered CryptoPIM executor.
+
+    Intended for validation at moderate degrees (bit-level gate simulation
+    is thorough, not fast); the production path for large degrees is the
+    accelerator's ``fidelity='fast'`` mode, which reuses the analytic cost
+    model these runs validate.
+    """
+
+    def __init__(self, params: NttParams, counter: Optional[CycleCounter] = None):
+        self.params = params
+        self.counter = counter if counter is not None else CycleCounter()
+        self.kit = ReductionKit.for_modulus(params.q)
+        reducer = self.kit.montgomery_reducer()
+        self.R = reducer.R
+        q, n = params.q, params.n
+
+        rev = np.asarray(bitrev_indices(n), dtype=np.int64)
+        # Constants, Montgomery-domain, in storage (bit-reversed) row order.
+        phi = np.asarray(params.phi_powers(), dtype=np.uint64)
+        self._phi_rows = (phi[rev] * np.uint64(self.R % q)) % np.uint64(q)
+        post = np.asarray(params.phi_inv_powers_scaled(), dtype=np.uint64)
+        r2 = (self.R * self.R) % q
+        self._post_rows = (post * np.uint64(r2)) % np.uint64(q)  # natural order
+        fwd_tw = np.asarray(params.forward_twiddles_bitrev(), dtype=np.uint64)
+        inv_tw = np.asarray(params.inverse_twiddles_bitrev(), dtype=np.uint64)
+        self._fwd_tw = (fwd_tw * np.uint64(self.R % q)) % np.uint64(q)
+        self._inv_tw = (inv_tw * np.uint64(self.R % q)) % np.uint64(q)
+
+        self._rev = rev
+        self._blocks: Dict[str, PimBlock] = {}
+        self._switches: List[FixedFunctionSwitch] = []
+
+    @classmethod
+    def for_degree(cls, n: int) -> "PimMachine":
+        return cls(params_for_degree(n))
+
+    # -- infrastructure --------------------------------------------------------
+
+    def _block(self, label: str) -> PimBlock:
+        """The PIM block for one cascade position (created on first use).
+
+        Blocks are sized ``n`` rows tall: a block taller than 512 models the
+        ``b_m`` parallel banks that each hold a 512-row slice.
+        """
+        if label not in self._blocks:
+            self._blocks[label] = PimBlock(
+                bitwidth=self.params.bitwidth,
+                rows=max(self.params.n, 1),
+                counter=self.counter,
+                label=label,
+            )
+        return self._blocks[label]
+
+    def _enter_block(self) -> None:
+        """Charge the per-block overhead: switch transfer + operand write."""
+        n, width = self.params.n, self.params.bitwidth
+        self.counter.charge_transfer(transfer_cycles(width), active_rows=n)
+        self.counter.charge(WRITE_OVERHEAD_FACTOR * width, active_rows=n)
+
+    # -- phases -------------------------------------------------------------------
+
+    def _scale_phase(self, label: str, values: np.ndarray,
+                     constants: np.ndarray) -> np.ndarray:
+        """mul block + Montgomery-reduce block (two cascade positions)."""
+        self._enter_block()
+        product = self._block(f"{label}/mul").mul(values, constants)
+        self._enter_block()
+        return self._block(f"{label}/reduce").reduce(product, self.kit.montgomery)
+
+    def _butterfly_phase(self, label: str, values: np.ndarray, stage: int,
+                         twiddles: np.ndarray) -> np.ndarray:
+        """One GS stage: switch routing, then mul block + fused reduce block."""
+        n, q = self.params.n, self.params.q
+        distance = 1 << stage
+        switch = FixedFunctionSwitch(distance, self.params.bitwidth, rows=n)
+        self._switches.append(switch)
+        passes = switch.route_passes(values)  # overhead charged via _enter_block
+        idx = np.arange(n)
+        is_bot = (idx & distance) != 0
+        partner = np.where(is_bot, passes[distance], passes[-distance])
+
+        tops = idx[~is_bot]
+        bots = idx[is_bot]
+        mul_block = self._block(f"{label}/mul")
+        reduce_block = self._block(f"{label}/reduce")
+
+        # -- block 1: the multiplier (needs the biased difference first;
+        #    physically the sub lives in the previous reduce block, which is
+        #    why its cycles are charged there - totals are identical).
+        self._enter_block()
+        # row j+d computes W * (T - A[j+d]) where T arrived from row j
+        diff = reduce_block.sub_biased(partner[bots], values[bots], bias=q)
+        product = mul_block.mul(diff, twiddles[tops >> (stage + 1)])
+
+        # -- block 2: Montgomery + add + Barrett
+        self._enter_block()
+        new_bots = reduce_block.reduce(product, self.kit.montgomery)
+        total = reduce_block.add(values[tops], partner[tops])
+        new_tops = reduce_block.reduce(total, self.kit.barrett)
+
+        out = np.empty_like(values)
+        out[tops] = new_tops
+        out[bots] = new_bots
+        return out
+
+    def _gs_transform(self, label: str, values: np.ndarray,
+                      twiddles: np.ndarray) -> np.ndarray:
+        log_n = self.params.n.bit_length() - 1
+        for i in range(log_n):
+            values = self._butterfly_phase(f"{label}-{i}", values, i, twiddles)
+        return values
+
+    # -- the full Algorithm 1 ---------------------------------------------------------
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two coefficient vectors, bit-level."""
+        n, q = self.params.n, self.params.q
+        a = np.asarray(a, dtype=np.uint64) % q
+        b = np.asarray(b, dtype=np.uint64) % q
+        if a.shape != (n,) or b.shape != (n,):
+            raise ValueError(f"operands must have exactly {n} coefficients")
+
+        # Bit-reversed write (free) + phi pre-scale; both polynomials stream
+        # through their own banks - same ops on each.
+        a_rows = self._scale_phase("pre-a", a[self._rev], self._phi_rows)
+        b_rows = self._scale_phase("pre-b", b[self._rev], self._phi_rows)
+
+        a_hat = self._gs_transform("fwd-a", a_rows, self._fwd_tw)
+        b_hat = self._gs_transform("fwd-b", b_rows, self._fwd_tw)
+
+        c_hat = self._scale_phase("pointwise", a_hat, b_hat)  # carries R^-1
+
+        c_rows = self._gs_transform("inv", c_hat[self._rev], self._inv_tw)
+
+        return self._scale_phase("post", c_rows, self._post_rows)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def blocks_used(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def switches_used(self) -> int:
+        return len(self._switches)

@@ -1,0 +1,99 @@
+"""Inter-bank interconnect analysis for degrees above one bank.
+
+A bank ingests 512 elements; degrees beyond that spread each vector over
+``b_m = n / 512`` banks (Section III-D.2), and a Gentleman-Sande stage
+with butterfly distance ``d >= 512`` exchanges data *between banks*.  The
+paper adds "switches at the intersection of different banks" without
+analysing them; this module does:
+
+* which stages of a given degree cross bank boundaries, and how much
+  traffic each moves;
+* the key structural result (tested): at bank granularity the exchange is
+  again a fixed-offset pattern - bank ``j`` talks to bank ``j XOR (d/512)``
+  - so the *same three-connection fixed-function switch design* works at
+  the bank level, with stride ``d / 512``;
+* a latency sensitivity model for when inter-bank hops cost more than
+  intra-bank ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.pipeline import PipelineModel
+from ..pim.logic import transfer_cycles
+from .bank import BANK_WIDTH
+
+__all__ = ["StageTraffic", "stage_traffic", "bank_level_strides",
+           "latency_with_interbank_penalty"]
+
+
+@dataclass(frozen=True)
+class StageTraffic:
+    """Data movement of one NTT stage at degree ``n``."""
+
+    stage: int
+    distance: int
+    crosses_banks: bool
+    bank_stride: int          # 0 when intra-bank
+    elements_moved: int       # partner copies delivered (one per element)
+
+
+def stage_traffic(n: int, bank_width: int = BANK_WIDTH) -> List[StageTraffic]:
+    """Traffic profile of every forward-NTT stage for degree ``n``."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two")
+    out: List[StageTraffic] = []
+    log_n = n.bit_length() - 1
+    for stage in range(log_n):
+        distance = 1 << stage
+        crosses = distance >= bank_width
+        out.append(StageTraffic(
+            stage=stage,
+            distance=distance,
+            crosses_banks=crosses,
+            bank_stride=distance // bank_width if crosses else 0,
+            elements_moved=n,  # every element receives its partner's copy
+        ))
+    return out
+
+
+def bank_level_strides(n: int, bank_width: int = BANK_WIDTH) -> List[int]:
+    """The fixed strides the *bank-level* switches need for degree ``n``.
+
+    For a cross-bank stage with distance ``d``, element ``e`` in bank
+    ``e // width`` exchanges with element ``e ^ d`` in bank
+    ``(e ^ d) // width = (e // width) ^ (d // width)`` (because
+    ``d`` is a multiple of the bank width) - a fixed bank offset of
+    ``+-(d / width)``, i.e. exactly a fixed-function switch pattern.
+    """
+    return sorted({t.bank_stride for t in stage_traffic(n, bank_width)
+                   if t.crosses_banks})
+
+
+def latency_with_interbank_penalty(
+    n: int, penalty_factor: float, bank_width: int = BANK_WIDTH
+) -> float:
+    """Pipelined latency (us) when each cross-bank transfer costs
+    ``penalty_factor`` times the intra-bank ``3N`` cycles.
+
+    ``penalty_factor = 1`` reproduces the paper's model exactly (the
+    published numbers implicitly assume bank hops are as cheap as block
+    hops); the sensitivity sweep in the benchmarks quantifies how much
+    headroom that assumption has.
+    """
+    if penalty_factor < 1:
+        raise ValueError("penalty cannot be below the base transfer cost")
+    model = PipelineModel.for_degree(n)
+    base_transfer = transfer_cycles(model.config.bitwidth)
+    extra_per_hop = int(round((penalty_factor - 1) * base_transfer))
+    crossing_stages = sum(
+        1 for t in stage_traffic(n, bank_width) if t.crosses_banks)
+    # forward (parallel for both operands) + inverse stages cross equally;
+    # each crossing stage has its switch on the path once.
+    extra_cycles_path = extra_per_hop * 2 * crossing_stages
+    # pipelined latency: the slowest stage may grow if its transfer does
+    stage = model.stage_cycles + (extra_per_hop if crossing_stages else 0)
+    return model.device.cycles_to_us(model.depth * stage
+                                     + extra_cycles_path)

@@ -1,0 +1,14 @@
+"""Comparators: PIM baselines (Fig. 6), CPU and FPGA references (Table II)."""
+
+from .cpu import TABLE2_CPU, CpuModel, CpuReference, measure_software_latency
+from .fpga import TABLE2_FPGA, FpgaModel, FpgaReference
+from .pim_baselines import (
+    BASELINE_POLICIES,
+    Bp1Policy,
+    Bp2Policy,
+    Bp3Policy,
+    MultiplicationReductionPolicy,
+    baseline_models,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,68 @@
+"""Power profile over time.
+
+Table II reports *energy per multiplication*; a deployment also needs the
+instantaneous power draw.  This module divides each block's energy by its
+residency time to produce a per-stage power trace - for the pipelined
+design in steady state (every block busy simultaneously) and for one
+non-pipelined multiplication (blocks fire in sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..pim.energy import EnergyModel
+from .pipeline import PipelineModel
+
+__all__ = ["PowerSample", "power_trace_non_pipelined", "steady_state_power_w"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Average power while one block computes (non-pipelined execution)."""
+
+    block: str
+    start_us: float
+    duration_us: float
+    power_w: float
+
+
+def _block_energy_uj(model: PipelineModel, block) -> float:
+    energy_model = EnergyModel(model.device)
+    n = model.config.n
+    ops = block.op_row_events(model.policy, n)
+    overhead = block.overhead_row_events(model.policy, n)
+    return energy_model.energy_from_events(
+        ops + overhead, transfer_events=overhead).total_uj
+
+
+def power_trace_non_pipelined(model: PipelineModel) -> List[PowerSample]:
+    """One multiplication, blocks in sequence: per-block average power."""
+    samples: List[PowerSample] = []
+    clock_us = 0.0
+    for block in model.blocks:
+        duration_us = model.device.cycles_to_us(block.latency(model.policy))
+        energy_uj = _block_energy_uj(model, block) * block.multiplicity
+        samples.append(PowerSample(
+            block=block.label,
+            start_us=clock_us,
+            duration_us=duration_us,
+            power_w=energy_uj / duration_us,  # uJ / us = W
+        ))
+        clock_us += duration_us
+    return samples
+
+
+def steady_state_power_w(model: PipelineModel) -> float:
+    """Pipelined steady state: every block burns its per-result energy
+    once per stage interval, so chip power = total energy per result /
+    stage time.  (Consistency: power x stage_time = Table II energy.)"""
+    energy_uj = model.report(pipelined=True).energy_uj
+    stage_us = model.device.cycles_to_us(model.stage_cycles)
+    return energy_uj / stage_us
+
+
+def peak_power_w(model: PipelineModel) -> float:
+    """Highest per-block average power along the non-pipelined trace."""
+    return max(s.power_w for s in power_trace_non_pipelined(model))

@@ -1,0 +1,255 @@
+"""Stage blocks, operation specifications and cost policies.
+
+A polynomial multiplication (Algorithm 1) maps onto a cascade of memory
+blocks (Section III-C): one block per vector-wide operation group, with
+fixed-function switches between them.  This module describes that cascade
+abstractly - which operations live in which block for each of the Figure 4
+pipeline variants - and prices it through a pluggable :class:`CostPolicy`,
+which is also how the BP-1/BP-2/BP-3 baselines of Figure 6 are expressed
+(:mod:`repro.baselines.pim_baselines`).
+
+Block latency = compute cycles + per-block overhead.  The overhead is
+``3N`` switch-transfer cycles (Section III-C) plus ``7N`` operand-write
+cycles - the ``10N`` total is the constant that makes the pipelined stage
+latency come out to the paper's 1643 cycles (16-bit) / 6611 cycles (32-bit)
+given the published multiplier cost (see DESIGN.md, "Inferred constants").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple
+
+from ..pim.logic import (
+    add_cycles,
+    mul_cycles_cryptopim,
+    sub_cycles,
+    transfer_cycles,
+)
+from ..pim.reduction_programs import ReductionKit, barrett_program, montgomery_program
+from .config import PipelineVariant
+
+__all__ = [
+    "OpKind",
+    "RowScope",
+    "OpSpec",
+    "CostPolicy",
+    "CryptoPimPolicy",
+    "StageBlock",
+    "build_blocks",
+    "WRITE_OVERHEAD_FACTOR",
+]
+
+#: operand-write cycles per bit of datapath width (inferred; DESIGN.md)
+WRITE_OVERHEAD_FACTOR = 7
+
+
+class OpKind(Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    BARRETT = "barrett"
+    MONTGOMERY = "montgomery"
+
+
+class RowScope(Enum):
+    """How many of the vector's elements an op touches (energy accounting)."""
+
+    FULL = 1.0   # scale/pointwise ops: every element
+    HALF = 0.5   # butterfly ops: one of the two element groups
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    kind: OpKind
+    scope: RowScope
+
+
+class CostPolicy:
+    """Prices the primitive operations for one (q, bitwidth) context.
+
+    The default implementation is CryptoPIM itself: the published closed
+    forms for add/sub/mul and width-optimised shift-add reduction programs.
+    Baselines override pieces of it.
+    """
+
+    name = "cryptopim"
+
+    def __init__(self, q: int, bitwidth: int):
+        self.q = q
+        self.bitwidth = bitwidth
+        self._kit = ReductionKit.for_modulus(q)
+
+    @property
+    def kit(self) -> ReductionKit:
+        return self._kit
+
+    # -- primitive costs ----------------------------------------------------
+
+    def add(self) -> int:
+        return add_cycles(self.bitwidth)
+
+    def sub(self) -> int:
+        return sub_cycles(self.bitwidth)
+
+    def mul(self) -> int:
+        return mul_cycles_cryptopim(self.bitwidth)
+
+    def barrett(self) -> int:
+        return self._kit.barrett_cycles()
+
+    def montgomery(self) -> int:
+        return self._kit.montgomery_cycles()
+
+    def cycles_of(self, kind: OpKind) -> int:
+        return {
+            OpKind.ADD: self.add,
+            OpKind.SUB: self.sub,
+            OpKind.MUL: self.mul,
+            OpKind.BARRETT: self.barrett,
+            OpKind.MONTGOMERY: self.montgomery,
+        }[kind]()
+
+    # -- per-block overhead ----------------------------------------------------
+
+    def block_overhead(self) -> int:
+        """Switch transfer (3N) + operand write (7N) per block."""
+        return transfer_cycles(self.bitwidth) + WRITE_OVERHEAD_FACTOR * self.bitwidth
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(q={self.q}, N={self.bitwidth})"
+
+
+#: canonical alias - the paper's own design point
+CryptoPimPolicy = CostPolicy
+
+
+@dataclass(frozen=True)
+class StageBlock:
+    """One memory block of the cascade.
+
+    Attributes:
+        label: human-readable name ("fwd-3/mul").
+        phase: which Algorithm 1 phase it belongs to
+            ('pre' | 'fwd' | 'pointwise' | 'inv' | 'post').
+        ops: operations executed in this block, in order.
+        multiplicity: physical copies operating in parallel - 2 for the
+            'pre' and 'fwd' phases because polynomials A and B stream
+            through separate banks simultaneously.  Multiplicity does not
+            change latency (parallel hardware) but doubles energy.
+    """
+
+    label: str
+    phase: str
+    ops: Tuple[OpSpec, ...]
+    multiplicity: int = 1
+
+    def compute_cycles(self, policy: CostPolicy) -> int:
+        return sum(policy.cycles_of(op.kind) for op in self.ops)
+
+    def latency(self, policy: CostPolicy) -> int:
+        """Block residency time: compute + transfer-in + operand write."""
+        return self.compute_cycles(policy) + policy.block_overhead()
+
+    def op_row_events(self, policy: CostPolicy, n: int) -> int:
+        """Energy events: each op's cycles times the rows it activates."""
+        return sum(
+            int(policy.cycles_of(op.kind) * op.scope.value * n) for op in self.ops
+        )
+
+    def overhead_row_events(self, policy: CostPolicy, n: int) -> int:
+        """Transfer + write events: the whole vector moves, all rows."""
+        return policy.block_overhead() * n
+
+
+# ---------------------------------------------------------------------------
+# Block composition per pipeline variant
+# ---------------------------------------------------------------------------
+
+_BUTTERFLY_OPS = (
+    OpSpec(OpKind.ADD, RowScope.HALF),
+    OpSpec(OpKind.BARRETT, RowScope.HALF),
+    OpSpec(OpKind.SUB, RowScope.HALF),
+    OpSpec(OpKind.MUL, RowScope.HALF),
+    OpSpec(OpKind.MONTGOMERY, RowScope.HALF),
+)
+_SCALE_OPS = (
+    OpSpec(OpKind.MUL, RowScope.FULL),
+    OpSpec(OpKind.MONTGOMERY, RowScope.FULL),
+)
+
+
+def _butterfly_blocks(variant: PipelineVariant, label: str, phase: str,
+                      multiplicity: int) -> List[StageBlock]:
+    """How one NTT stage's butterfly splits into blocks (Figure 4)."""
+    if variant is PipelineVariant.AREA_EFFICIENT:
+        return [StageBlock(f"{label}/all", phase, _BUTTERFLY_OPS, multiplicity)]
+    if variant is PipelineVariant.NAIVE:
+        # compute ops in one block, both modulo reductions in the next
+        return [
+            StageBlock(
+                f"{label}/compute", phase,
+                (OpSpec(OpKind.ADD, RowScope.HALF),
+                 OpSpec(OpKind.SUB, RowScope.HALF),
+                 OpSpec(OpKind.MUL, RowScope.HALF)),
+                multiplicity,
+            ),
+            StageBlock(
+                f"{label}/modulo", phase,
+                (OpSpec(OpKind.BARRETT, RowScope.HALF),
+                 OpSpec(OpKind.MONTGOMERY, RowScope.HALF)),
+                multiplicity,
+            ),
+        ]
+    # CRYPTOPIM: the multiplier fills one block; Montgomery + add/sub +
+    # Barrett share the other (Section III-D.1's final optimisation).
+    return [
+        StageBlock(
+            f"{label}/mul", phase,
+            (OpSpec(OpKind.MUL, RowScope.HALF),),
+            multiplicity,
+        ),
+        StageBlock(
+            f"{label}/reduce", phase,
+            (OpSpec(OpKind.MONTGOMERY, RowScope.HALF),
+             OpSpec(OpKind.ADD, RowScope.HALF),
+             OpSpec(OpKind.SUB, RowScope.HALF),
+             OpSpec(OpKind.BARRETT, RowScope.HALF)),
+            multiplicity,
+        ),
+    ]
+
+
+def _scale_blocks(variant: PipelineVariant, label: str, phase: str,
+                  multiplicity: int) -> List[StageBlock]:
+    """Blocks of a scale phase (phi pre-scale, pointwise, phi post-scale)."""
+    if variant is PipelineVariant.AREA_EFFICIENT:
+        return [StageBlock(f"{label}/all", phase, _SCALE_OPS, multiplicity)]
+    return [
+        StageBlock(f"{label}/mul", phase,
+                   (OpSpec(OpKind.MUL, RowScope.FULL),), multiplicity),
+        StageBlock(f"{label}/reduce", phase,
+                   (OpSpec(OpKind.MONTGOMERY, RowScope.FULL),), multiplicity),
+    ]
+
+
+def build_blocks(n: int, variant: PipelineVariant) -> List[StageBlock]:
+    """The full block cascade of one n-point polynomial multiplication.
+
+    Returned in dataflow order along one path; blocks with multiplicity 2
+    ('pre' and 'fwd') have a mirror copy processing the second polynomial
+    in parallel banks.
+    """
+    if n < 4 or n & (n - 1):
+        raise ValueError(f"n must be a power of two >= 4, got {n}")
+    log_n = n.bit_length() - 1
+    blocks: List[StageBlock] = []
+    blocks += _scale_blocks(variant, "pre", "pre", multiplicity=2)
+    for i in range(log_n):
+        blocks += _butterfly_blocks(variant, f"fwd-{i}", "fwd", multiplicity=2)
+    blocks += _scale_blocks(variant, "pointwise", "pointwise", multiplicity=1)
+    for i in range(log_n):
+        blocks += _butterfly_blocks(variant, f"inv-{i}", "inv", multiplicity=1)
+    blocks += _scale_blocks(variant, "post", "post", multiplicity=1)
+    return blocks

@@ -1,0 +1,70 @@
+"""Pipeline occupancy timeline (ASCII Gantt).
+
+Visualises the streaming behaviour behind Table II's throughput: which
+multiplication occupies which block at each stage slot.  Useful for
+documentation, demos and for *seeing* the fill/drain phases whose cost the
+scheduler amortises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .pipeline import PipelineModel
+
+__all__ = ["occupancy_grid", "render_timeline"]
+
+
+def occupancy_grid(model: PipelineModel, multiplications: int,
+                   slots: int | None = None) -> List[List[int]]:
+    """Grid[block][slot] = 1-based multiplication index occupying that
+    block in that stage slot (0 = idle).
+
+    Multiplication ``m`` (1-based) enters block 0 at slot ``m - 1`` and
+    advances one block per slot.
+    """
+    if multiplications < 1:
+        raise ValueError("need at least one multiplication")
+    depth = model.depth
+    total_slots = depth + multiplications - 1
+    if slots is None:
+        slots = total_slots
+    grid = [[0] * slots for _ in range(depth)]
+    for block in range(depth):
+        for slot in range(min(slots, total_slots)):
+            mult = slot - block + 1
+            if 1 <= mult <= multiplications:
+                grid[block][slot] = mult
+    return grid
+
+
+def render_timeline(model: PipelineModel, multiplications: int = 4,
+                    max_slots: int = 40, max_blocks: int = 12) -> str:
+    """Human-readable occupancy chart with stage-latency annotations."""
+    grid = occupancy_grid(model, multiplications)
+    depth = len(grid)
+    slots = min(len(grid[0]), max_slots)
+    shown_blocks = min(depth, max_blocks)
+    stage_us = model.device.cycles_to_us(model.stage_cycles)
+    lines = [
+        f"pipeline n={model.config.n}: {depth} blocks, "
+        f"{model.stage_cycles} cycles ({stage_us:.2f} us) per slot, "
+        f"{multiplications} multiplications streamed",
+        "block " + "".join(f"{s % 10}" for s in range(slots)) + "  (slot)",
+    ]
+    labels = [b.label for b in model.blocks]
+    for block in range(shown_blocks):
+        cells = "".join(
+            "." if grid[block][s] == 0 else str(grid[block][s] % 10)
+            for s in range(slots)
+        )
+        lines.append(f"{block:4d}  {cells}  {labels[block]}")
+    if depth > shown_blocks:
+        lines.append(f"      ... ({depth - shown_blocks} more blocks)")
+    first_done = depth
+    lines.append(
+        f"result 1 completes after slot {first_done} "
+        f"({model.device.cycles_to_us(first_done * model.stage_cycles):.2f} us); "
+        f"one result per slot thereafter."
+    )
+    return "\n".join(lines)

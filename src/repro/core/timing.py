@@ -1,0 +1,52 @@
+"""Timing / throughput / energy report types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pim.energy import EnergyBreakdown
+
+__all__ = ["MultiplicationReport"]
+
+
+@dataclass(frozen=True)
+class MultiplicationReport:
+    """Everything Table II reports about one polynomial multiplication.
+
+    Attributes:
+        n / q / bitwidth: ring and datapath parameters.
+        variant: pipeline organisation name.
+        pipelined: whether the numbers describe streaming operation.
+        depth_blocks: memory blocks along the dataflow path.
+        stage_cycles: slowest block's residency (pipelined stage latency).
+        latency_cycles / latency_us: time for ONE multiplication
+            (pipelined: depth x stage; non-pipelined: sum of blocks).
+        throughput_per_s: multiplications per second in steady state
+            (pipelined: one result per stage time; non-pipelined: 1/latency).
+        energy: per-multiplication energy.
+    """
+
+    n: int
+    q: int
+    bitwidth: int
+    variant: str
+    pipelined: bool
+    depth_blocks: int
+    stage_cycles: int
+    latency_cycles: int
+    latency_us: float
+    throughput_per_s: float
+    energy: EnergyBreakdown
+
+    @property
+    def energy_uj(self) -> float:
+        return self.energy.total_uj
+
+    def __str__(self) -> str:
+        mode = "pipelined" if self.pipelined else "non-pipelined"
+        return (
+            f"CryptoPIM n={self.n} ({self.bitwidth}-bit, {mode}, {self.variant}): "
+            f"latency {self.latency_us:.2f} us, "
+            f"throughput {self.throughput_per_s:,.0f} mult/s, "
+            f"energy {self.energy_uj:.2f} uJ"
+        )

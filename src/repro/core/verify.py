@@ -1,0 +1,109 @@
+"""Probabilistic runtime verification of accelerator results.
+
+A deployed accelerator needs cheap online checking (process variation,
+aging, the faults of :mod:`repro.pim.faults`).  Re-running every product
+in software would erase the speedup; instead we use a Freivalds-style
+spot check specialised to the negacyclic ring:
+
+    x^n + 1 vanishes at every odd power of the 2n-th root psi, so for the
+    true product  c = a * b mod (x^n + 1, q)  and any odd ``k``:
+
+        c(psi^k)  ==  a(psi^k) * b(psi^k)   (mod q).
+
+Each check is three O(n) Horner evaluations; a corrupted product survives
+one random check only if it differs by a multiple of the checked factor's
+minimal polynomial - probability ``<= (n - 1) / n`` per round against the
+``n`` admissible points, driven down exponentially by ``rounds``.  (For a
+*random* corruption the practical catch rate of even one round is ~1.)
+
+:class:`SelfCheckingBackend` wraps any multiplier backend with this check
+and an escalation counter - drop it into the crypto schemes unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ntt.params import NttParams
+
+__all__ = ["evaluate_at", "verify_product", "SelfCheckingBackend",
+           "VerificationError"]
+
+
+class VerificationError(ArithmeticError):
+    """An accelerator result failed its Freivalds check."""
+
+
+def evaluate_at(coeffs: np.ndarray, point: int, q: int) -> int:
+    """Horner evaluation of a coefficient vector at ``point`` mod ``q``."""
+    acc = 0
+    for c in reversed(np.asarray(coeffs)):
+        acc = (acc * point + int(c)) % q
+    return acc
+
+
+def verify_product(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                   params: NttParams,
+                   rng: Optional[np.random.Generator] = None,
+                   rounds: int = 2) -> bool:
+    """Check ``c == a * b`` in the ring, probabilistically.
+
+    Evaluates all three polynomials at ``rounds`` random odd powers of the
+    2n-th root of unity and compares products; O(rounds * n) work.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one verification round")
+    rng = rng if rng is not None else np.random.default_rng()
+    q, n = params.q, params.n
+    for _ in range(rounds):
+        k = 2 * int(rng.integers(0, n)) + 1  # odd exponent
+        point = pow(params.phi, k, q)
+        left = (evaluate_at(a, point, q) * evaluate_at(b, point, q)) % q
+        if left != evaluate_at(c, point, q):
+            return False
+    return True
+
+
+class SelfCheckingBackend:
+    """Multiplier backend wrapper that spot-checks results.
+
+    Args:
+        inner: the backend doing the actual work (e.g. a CryptoPIM).
+        params: ring parameters (supply the evaluation points).
+        check_probability: fraction of products verified (1.0 = all).
+        rounds: Freivalds rounds per checked product.
+        raise_on_failure: raise :class:`VerificationError` (default) or
+            just count, for telemetry-style use.
+    """
+
+    def __init__(self, inner, params: NttParams,
+                 check_probability: float = 1.0, rounds: int = 2,
+                 raise_on_failure: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= check_probability <= 1.0:
+            raise ValueError("check probability must be in [0, 1]")
+        self.inner = inner
+        self.params = params
+        self.check_probability = check_probability
+        self.rounds = rounds
+        self.raise_on_failure = raise_on_failure
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.products = 0
+        self.checked = 0
+        self.failures = 0
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = self.inner.multiply(a, b)
+        self.products += 1
+        if self.rng.random() < self.check_probability:
+            self.checked += 1
+            if not verify_product(a, b, result, self.params,
+                                  rng=self.rng, rounds=self.rounds):
+                self.failures += 1
+                if self.raise_on_failure:
+                    raise VerificationError(
+                        "accelerator product failed its Freivalds check"
+                    )
+        return result

@@ -1,0 +1,224 @@
+"""BFV: scale-invariant homomorphic encryption (the SEAL default).
+
+The paper's HE anchor is Microsoft SEAL, whose default scheme is BFV, not
+BGV: plaintexts are scaled *up* by ``Delta = floor(q / t)`` at encryption
+and multiplications rescale by ``t / q`` with rounding, so no modulus
+chain is needed for shallow circuits.  Implementing it alongside BGV lets
+the repository compare the two classic noise-management styles on the
+same CryptoPIM rings.
+
+Textbook (symmetric) BFV over ``R_q = Z_q[x]/(x^n + 1)``:
+
+* encrypt:  ``c0 = a*s + e + Delta*m``, ``c1 = -a``
+* decrypt:  ``m = round(t/q * [c0 + c1*s]_q) mod t``
+* add: component-wise
+* multiply: tensor the ciphertexts over the *integers* (no wraparound),
+  scale each component by ``t/q`` with exact rational rounding, reduce mod
+  q - the wide exact intermediate is computed by CRT over an auxiliary
+  NTT-prime tower (see ``_exact_negacyclic``);
+* relinearize: base-T key switching, as in BGV.
+
+With the paper's single 20-bit modulus and ``t = 2`` one multiplicative
+level fits, matching the BGV module; the RNS tower generalises BGV's
+depth, BFV here stays single-modulus by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log
+from typing import List, Optional
+
+import numpy as np
+
+from ..ntt.params import NttParams, params_for_degree
+from ..ntt.polynomial import MultiplierBackend, Polynomial
+from .sampling import cbd_poly, uniform_poly
+
+__all__ = ["BfvScheme", "BfvCiphertext", "BfvSecretKey"]
+
+
+@dataclass(frozen=True)
+class BfvSecretKey:
+    s: Polynomial
+
+
+@dataclass(frozen=True)
+class BfvRelinKey:
+    base: int
+    b: List[Polynomial]
+    a: List[Polynomial]
+
+
+@dataclass
+class BfvCiphertext:
+    parts: List[Polynomial]
+
+    @property
+    def degree(self) -> int:
+        return len(self.parts) - 1
+
+
+class BfvScheme:
+    """Symmetric BFV over one paper ring.
+
+    Args:
+        n: ring degree (>= 2048 selects q = 786433).
+        t: plaintext modulus (t << q; the single 20-bit modulus supports
+            one multiplication at t = 2).
+        eta: CBD noise parameter.
+        relin_base: digit base for the relinearization keys.
+    """
+
+    def __init__(self, n: int = 2048, t: int = 2, eta: int = 2,
+                 relin_base: int = 16,
+                 backend: Optional[MultiplierBackend] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.params: NttParams = params_for_degree(n)
+        if not 2 <= t < self.params.q:
+            raise ValueError("need 2 <= t < q")
+        self.t = t
+        self.eta = eta
+        self.relin_base = relin_base
+        self.backend = backend
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.delta = self.params.q // t
+        self.relin_digits = int(ceil(log(self.params.q) / log(relin_base)))
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _attach(self, poly: Polynomial) -> Polynomial:
+        return poly.with_backend(self.backend) if self.backend else poly
+
+    def _noise(self) -> Polynomial:
+        return self._attach(cbd_poly(self.params, self.rng, self.eta))
+
+    # -- keys ----------------------------------------------------------------------
+
+    def keygen(self) -> BfvSecretKey:
+        return BfvSecretKey(s=self._noise())
+
+    def relin_keygen(self, sk: BfvSecretKey) -> BfvRelinKey:
+        s2 = sk.s * sk.s
+        b_parts, a_parts = [], []
+        power = 1
+        for _ in range(self.relin_digits):
+            a_i = self._attach(uniform_poly(self.params, self.rng))
+            e_i = self._noise()
+            b_i = a_i * sk.s + e_i + s2.scale(power)
+            b_parts.append(b_i)
+            a_parts.append(a_i)
+            power = (power * self.relin_base) % self.params.q
+        return BfvRelinKey(base=self.relin_base, b=b_parts, a=a_parts)
+
+    # -- encrypt / decrypt ------------------------------------------------------------
+
+    def encrypt(self, sk: BfvSecretKey, message: np.ndarray) -> BfvCiphertext:
+        msg = np.asarray(message) % self.t
+        if msg.shape != (self.params.n,):
+            raise ValueError(f"plaintext must have {self.params.n} coefficients")
+        a = self._attach(uniform_poly(self.params, self.rng))
+        e = self._noise()
+        scaled = self._attach(Polynomial(
+            (msg.astype(np.int64) * self.delta), self.params))
+        return BfvCiphertext(parts=[a * sk.s + e + scaled, -a])
+
+    def _phase_centered(self, sk: BfvSecretKey, ct: BfvCiphertext) -> np.ndarray:
+        phase = ct.parts[0]
+        s_power = sk.s
+        for part in ct.parts[1:]:
+            phase = phase + part * s_power
+            s_power = s_power * sk.s
+        return phase.centered_coeffs()
+
+    def decrypt(self, sk: BfvSecretKey, ct: BfvCiphertext) -> np.ndarray:
+        phase = self._phase_centered(sk, ct).astype(object)
+        q, t = self.params.q, self.t
+        # m = round(t * phase / q) mod t, with exact rational rounding
+        rounded = [(2 * t * int(p) + q) // (2 * q) for p in phase]
+        return np.asarray([r % t for r in rounded], dtype=np.int64)
+
+    def invariant_noise_budget_bits(self, sk: BfvSecretKey,
+                                    ct: BfvCiphertext) -> float:
+        """SEAL's metric: log2(q / (2t * |noise|)) with noise = distance of
+        the phase from the nearest Delta multiple of a message."""
+        q, t = self.params.q, self.t
+        phase = self._phase_centered(sk, ct)
+        worst = 0
+        for p in phase:
+            # distance to nearest multiple of q/t (rational, scaled by t)
+            r = (t * int(p)) % q
+            worst = max(worst, min(r, q - r))
+        if worst == 0:
+            return float(np.log2(q / 2.0))
+        return float(np.log2(q / 2.0 / worst))
+
+    # -- homomorphic operations ---------------------------------------------------------
+
+    def add(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
+        longest, shortest = (x, y) if len(x.parts) >= len(y.parts) else (y, x)
+        parts = list(longest.parts)
+        for i, part in enumerate(shortest.parts):
+            parts[i] = parts[i] + part
+        return BfvCiphertext(parts=parts)
+
+    def multiply(self, x: BfvCiphertext, y: BfvCiphertext) -> BfvCiphertext:
+        """Tensor over the integers, rescale by t/q, round, reduce mod q.
+
+        The intermediate products are exact because BFV's rounding must
+        see values *before* any mod-q wraparound; exactness comes from an
+        auxiliary CRT tower wide enough for |coefficients| < n*(q/2)^2.
+        """
+        q, t, n = self.params.q, self.t, self.params.n
+        x_c = [p.centered_coeffs() for p in x.parts]
+        y_c = [p.centered_coeffs() for p in y.parts]
+        out_len = len(x_c) + len(y_c) - 1
+        tensored = [[0] * n for _ in range(out_len)]
+        for i, xi in enumerate(x_c):
+            for j, yj in enumerate(y_c):
+                prod = self._exact_negacyclic(xi, yj)
+                row = tensored[i + j]
+                for k in range(n):
+                    row[k] += prod[k]
+        parts = []
+        for row in tensored:
+            rounded = [((2 * t * v + q) // (2 * q)) % q for v in row]
+            parts.append(self._attach(Polynomial(
+                np.asarray(rounded, dtype=np.int64), self.params)))
+        return BfvCiphertext(parts=parts)
+
+    def _exact_negacyclic(self, a: np.ndarray, b: np.ndarray) -> List[int]:
+        """Exact integer negacyclic product of two centered vectors.
+
+        Computed with NTTs over an auxiliary CRT tower wide enough to
+        avoid any wraparound (|result| < n * (q/2)^2), then reconstructed
+        centered - exactness is what lets the t/q rounding be performed on
+        true integers.
+        """
+        from ..ntt.rns import RnsBasis, RnsPolynomial
+
+        if not hasattr(self, "_aux_basis"):
+            bound = 2 * self.params.n * (self.params.q // 2) ** 2
+            levels = 1
+            while True:
+                basis = RnsBasis.generate(self.params.n, levels, bits=24)
+                if basis.modulus > 2 * bound:
+                    break
+                levels += 1
+            self._aux_basis = basis
+        pa = RnsPolynomial.from_integers(self._aux_basis, [int(v) for v in a])
+        pb = RnsPolynomial.from_integers(self._aux_basis, [int(v) for v in b])
+        return (pa * pb).to_centered()
+
+    def relinearize(self, ct: BfvCiphertext, rlk: BfvRelinKey) -> BfvCiphertext:
+        if ct.degree != 2:
+            raise ValueError("relinearization expects a degree-2 ciphertext")
+        c0, c1, c2 = ct.parts
+        coeffs = c2.coeffs.astype(np.int64)
+        new0, new1 = c0, c1
+        for i in range(self.relin_digits):
+            digit = (coeffs // (self.relin_base ** i)) % self.relin_base
+            digit_poly = self._attach(Polynomial(digit, self.params))
+            new0 = new0 + digit_poly * rlk.b[i]
+            new1 = new1 - digit_poly * rlk.a[i]
+        return BfvCiphertext(parts=[new0, new1])

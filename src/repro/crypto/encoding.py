@@ -1,0 +1,94 @@
+"""Message encodings between bytes, bits and ring plaintexts.
+
+The schemes in this package encrypt *bit vectors* (one bit per
+coefficient).  Real applications hold byte strings; these helpers map
+between the two, with explicit capacity accounting, plus a simple
+redundancy encoding that spreads each bit over several coefficients for
+majority decoding (the same trick NewHope uses for its shared key).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "message_capacity_bytes",
+    "encode_bytes",
+    "decode_bytes",
+    "spread_bits",
+    "majority_decode",
+]
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Little-endian-bit expansion of a byte string."""
+    if not data:
+        return np.zeros(0, dtype=np.int64)
+    as_array = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(as_array, bitorder="little")
+    return bits.astype(np.int64)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    bits = np.asarray(bits)
+    if len(bits) % 8:
+        raise ValueError("bit vector length must be a multiple of 8")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bit vector entries must be 0 or 1")
+    return np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+
+
+def message_capacity_bytes(n: int) -> int:
+    """Bytes one degree-``n`` bit-per-coefficient plaintext can hold,
+    reserving one coefficient group of 8 bits for the length byte... no:
+    capacity is simply n/8 bytes; callers manage framing."""
+    return n // 8
+
+
+def encode_bytes(data: bytes, n: int) -> np.ndarray:
+    """Pack a byte string into an ``n``-bit message with length framing.
+
+    Layout: 16 length bits (little-endian byte count) + payload bits +
+    zero padding.  Raises if the payload does not fit.
+    """
+    payload_bits = bytes_to_bits(data)
+    length_bits = bytes_to_bits(len(data).to_bytes(2, "little"))
+    needed = len(length_bits) + len(payload_bits)
+    if needed > n:
+        raise ValueError(
+            f"{len(data)} bytes need {needed} bits but the ring offers {n}"
+        )
+    message = np.zeros(n, dtype=np.int64)
+    message[: len(length_bits)] = length_bits
+    message[len(length_bits) : needed] = payload_bits
+    return message
+
+
+def decode_bytes(message: np.ndarray) -> bytes:
+    """Inverse of :func:`encode_bytes`."""
+    message = np.asarray(message)
+    length = int.from_bytes(bits_to_bytes(message[:16]), "little")
+    start = 16
+    stop = start + 8 * length
+    if stop > len(message):
+        raise ValueError("length prefix exceeds message capacity")
+    return bits_to_bytes(message[start:stop])
+
+
+def spread_bits(bits: np.ndarray, factor: int) -> np.ndarray:
+    """Repeat each bit ``factor`` times (error-tolerant encoding)."""
+    if factor < 1:
+        raise ValueError("spread factor must be >= 1")
+    return np.repeat(np.asarray(bits), factor)
+
+
+def majority_decode(spread: np.ndarray, factor: int) -> np.ndarray:
+    """Majority-vote decoding of :func:`spread_bits` output."""
+    spread = np.asarray(spread)
+    if factor < 1 or len(spread) % factor:
+        raise ValueError("length must be a multiple of the spread factor")
+    votes = spread.reshape(-1, factor).sum(axis=1)
+    return (2 * votes > factor).astype(np.int64)

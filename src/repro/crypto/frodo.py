@@ -1,0 +1,116 @@
+"""Frodo-style standard-LWE encryption - the paper's motivating contrast.
+
+Section I/II: "LWE-based schemes are impractical to be implemented on
+resource-constrained devices due to their large keys ... At the same
+security level, Ring-LWE reduces the key size by a factor of n."  This
+module implements the plain (matrix) LWE scheme so that claim is
+measurable in this repository rather than cited: keys are ``n x n``
+matrices of ``Z_q`` elements, encryption is matrix-vector work, and
+:func:`key_size_comparison` reproduces the factor-n gap against the RLWE
+scheme of :mod:`repro.crypto.rlwe`.
+
+(Like the paper's Frodo reference, there is no ring structure here for an
+NTT to exploit - which is exactly why CryptoPIM targets the ring variant.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..ntt.params import params_for_degree
+
+__all__ = ["FrodoLitePke", "key_size_comparison"]
+
+
+@dataclass(frozen=True)
+class FrodoPublicKey:
+    a: np.ndarray  # n x n uniform matrix
+    b: np.ndarray  # n x m: B = A S + E
+
+
+@dataclass(frozen=True)
+class FrodoSecretKey:
+    s: np.ndarray  # n x m small
+
+
+@dataclass(frozen=True)
+class FrodoCiphertext:
+    u: np.ndarray  # m' x n
+    v: np.ndarray  # m' x m
+
+
+class FrodoLitePke:
+    """Matrix-LWE public-key encryption (Lindner-Peikert shape).
+
+    Args:
+        n: LWE dimension.
+        q: modulus (power of two, like Frodo's 2^15).
+        bar_m: message block dimension (messages are bar_m x bar_m bit
+            matrices, one bit per entry).
+        eta: uniform noise bound (coefficients in [-eta, eta]).
+    """
+
+    def __init__(self, n: int = 256, q: int = 1 << 15, bar_m: int = 8,
+                 eta: int = 2, rng: Optional[np.random.Generator] = None):
+        if q & (q - 1):
+            raise ValueError("use a power-of-two modulus (Frodo convention)")
+        self.n = n
+        self.q = q
+        self.bar_m = bar_m
+        self.eta = eta
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._half = q // 2
+
+    def _small(self, shape) -> np.ndarray:
+        return self.rng.integers(-self.eta, self.eta + 1, shape)
+
+    def keygen(self):
+        a = self.rng.integers(0, self.q, (self.n, self.n))
+        s = self._small((self.n, self.bar_m))
+        e = self._small((self.n, self.bar_m))
+        b = (a @ s + e) % self.q
+        return FrodoPublicKey(a=a, b=b), FrodoSecretKey(s=s)
+
+    def encrypt(self, pk: FrodoPublicKey, bits: np.ndarray) -> FrodoCiphertext:
+        bits = np.asarray(bits)
+        if bits.shape != (self.bar_m, self.bar_m):
+            raise ValueError(f"message must be {self.bar_m}x{self.bar_m} bits")
+        s_prime = self._small((self.bar_m, self.n))
+        e_prime = self._small((self.bar_m, self.n))
+        e_second = self._small((self.bar_m, self.bar_m))
+        u = (s_prime @ pk.a + e_prime) % self.q
+        v = (s_prime @ pk.b + e_second + bits * self._half) % self.q
+        return FrodoCiphertext(u=u, v=v)
+
+    def decrypt(self, sk: FrodoSecretKey, ct: FrodoCiphertext) -> np.ndarray:
+        noisy = (ct.v - ct.u @ sk.s) % self.q
+        centered = np.where(noisy > self.q // 2, noisy - self.q, noisy)
+        return (np.abs(centered) > self.q // 4).astype(np.int64)
+
+    # -- size accounting ------------------------------------------------------
+
+    def public_key_bytes(self) -> int:
+        """A is seed-expandable in real Frodo; B is the irreducible part."""
+        bits_per = self.q.bit_length() - 1
+        return self.n * self.bar_m * bits_per // 8
+
+    def full_matrix_bytes(self) -> int:
+        bits_per = self.q.bit_length() - 1
+        return self.n * self.n * bits_per // 8
+
+
+def key_size_comparison(n: int = 1024) -> dict:
+    """The intro's claim, measured: RLWE keys are ~n times smaller than
+    the equivalent LWE matrix."""
+    ring = params_for_degree(n)
+    ring_bytes = n * ring.q.bit_length() // 8  # one ring element
+    lwe = FrodoLitePke(n=n)
+    return {
+        "n": n,
+        "rlwe_key_bytes": ring_bytes,
+        "lwe_matrix_bytes": lwe.full_matrix_bytes(),
+        "ratio": lwe.full_matrix_bytes() / ring_bytes,
+    }

@@ -1,0 +1,125 @@
+"""Kyber-style module-lattice CPA public-key encryption (simplified).
+
+CRYSTALS-Kyber [15] fixes CryptoPIM's small operating point (n=256,
+q=7681 in round 1).  Kyber works over *module* lattices: keys and
+ciphertexts are length-``k`` vectors of ring elements, so one encryption
+performs ``k^2 + 2k`` ring multiplications of degree 256 - a workload that
+exercises the configurable architecture's ability to run many small
+multiplications in parallel superbanks.
+
+This implementation is the CPA-secure core (no Fujisaki-Okamoto wrapper,
+no ciphertext compression) with the round-1 ring; it is meant as a
+realistic accelerator workload and a correctness target, not a
+production cipher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..ntt.params import NttParams, params_for_degree
+from ..ntt.polynomial import MultiplierBackend, Polynomial
+from .sampling import cbd_poly, uniform_poly
+
+__all__ = ["KyberPke", "KyberPublicKey", "KyberSecretKey", "KyberCiphertext"]
+
+
+@dataclass(frozen=True)
+class KyberPublicKey:
+    seed_matrix: List[List[Polynomial]]  # the public matrix A (k x k)
+    t: List[Polynomial]                  # t = A s + e
+
+
+@dataclass(frozen=True)
+class KyberSecretKey:
+    s: List[Polynomial]
+
+
+@dataclass(frozen=True)
+class KyberCiphertext:
+    u: List[Polynomial]
+    v: Polynomial
+
+
+class KyberPke:
+    """Kyber-lite CPA-PKE with module rank ``k`` (Kyber512 uses k=2).
+
+    Args:
+        k: module rank.
+        eta: CBD noise parameter (Kyber round 1: eta in {3, 4, 5} by rank;
+            we default to 3 which gives ample decryption margin).
+        backend: ring multiplier backend (CryptoPIM or software).
+    """
+
+    def __init__(self, k: int = 2, eta: int = 3,
+                 backend: Optional[MultiplierBackend] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if k < 1:
+            raise ValueError("module rank k must be >= 1")
+        self.k = k
+        self.eta = eta
+        self.params: NttParams = params_for_degree(256)
+        self.backend = backend
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._half_q = self.params.q // 2
+
+    def _attach(self, poly: Polynomial) -> Polynomial:
+        return poly.with_backend(self.backend) if self.backend else poly
+
+    def _noise_vec(self) -> List[Polynomial]:
+        return [self._attach(cbd_poly(self.params, self.rng, self.eta))
+                for _ in range(self.k)]
+
+    def _zero(self) -> Polynomial:
+        return self._attach(Polynomial.zero(self.params))
+
+    def _dot(self, left: List[Polynomial], right: List[Polynomial]) -> Polynomial:
+        acc = self._zero()
+        for x, y in zip(left, right):
+            acc = acc + x * y
+        return acc
+
+    # -- the scheme ---------------------------------------------------------
+
+    def keygen(self) -> tuple[KyberPublicKey, KyberSecretKey]:
+        matrix = [
+            [self._attach(uniform_poly(self.params, self.rng))
+             for _ in range(self.k)]
+            for _ in range(self.k)
+        ]
+        s = self._noise_vec()
+        e = self._noise_vec()
+        t = [self._dot(matrix[i], s) + e[i] for i in range(self.k)]
+        return KyberPublicKey(seed_matrix=matrix, t=t), KyberSecretKey(s=s)
+
+    def encrypt(self, pk: KyberPublicKey, message_bits: np.ndarray) -> KyberCiphertext:
+        """Encrypt 256 message bits."""
+        bits = np.asarray(message_bits)
+        if bits.shape != (self.params.n,):
+            raise ValueError(f"message must be {self.params.n} bits")
+        r = self._noise_vec()
+        e1 = self._noise_vec()
+        e2 = self._attach(cbd_poly(self.params, self.rng, self.eta))
+        # u = A^T r + e1
+        u = [
+            self._dot([pk.seed_matrix[j][i] for j in range(self.k)], r) + e1[i]
+            for i in range(self.k)
+        ]
+        encoded = self._attach(
+            Polynomial(bits.astype(np.int64) * self._half_q, self.params)
+        )
+        v = self._dot(pk.t, r) + e2 + encoded
+        return KyberCiphertext(u=u, v=v)
+
+    def decrypt(self, sk: KyberSecretKey, ct: KyberCiphertext) -> np.ndarray:
+        noisy = ct.v - self._dot(sk.s, ct.u)
+        centered = noisy.centered_coeffs()
+        return (np.abs(centered) > self.params.q // 4).astype(np.int64)
+
+    def multiplications_per_encrypt(self) -> int:
+        """Ring products one encryption performs: ``k^2`` for ``A^T r``
+        plus ``k`` for ``t . r`` - the accelerator workload size."""
+        return self.k * self.k + self.k

@@ -1,0 +1,99 @@
+"""Samplers for lattice cryptography.
+
+RLWE schemes need three distributions over ``R_q``:
+
+* uniform polynomials (public randomness ``a``);
+* small *error/secret* polynomials - we provide the centered binomial
+  distribution (CBD) used by NewHope/Kyber and a discrete Gaussian sampled
+  through a cumulative distribution table (CDT), the classic constant-time
+  hardware approach;
+* ternary polynomials (coefficients in ``{-1, 0, 1}``).
+
+All samplers take a ``numpy.random.Generator`` so callers control
+determinism - tests and examples pass seeded generators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..ntt.params import NttParams
+from ..ntt.polynomial import Polynomial
+
+__all__ = [
+    "uniform_poly",
+    "cbd_poly",
+    "ternary_poly",
+    "DiscreteGaussianSampler",
+    "gaussian_poly",
+]
+
+
+def uniform_poly(params: NttParams, rng: np.random.Generator) -> Polynomial:
+    """A uniformly random element of ``R_q``."""
+    return Polynomial(rng.integers(0, params.q, params.n, dtype=np.int64), params)
+
+
+def cbd_poly(params: NttParams, rng: np.random.Generator, eta: int = 2) -> Polynomial:
+    """Centered binomial distribution ``CBD_eta``: sum of ``eta`` coin
+    differences per coefficient; support ``[-eta, eta]``, variance ``eta/2``.
+
+    This is the error distribution of Kyber (eta=2) and NewHope (eta=8).
+    """
+    if eta < 1:
+        raise ValueError("eta must be >= 1")
+    ones_a = rng.integers(0, 2, (params.n, eta)).sum(axis=1)
+    ones_b = rng.integers(0, 2, (params.n, eta)).sum(axis=1)
+    return Polynomial((ones_a - ones_b) % params.q, params)
+
+
+def ternary_poly(params: NttParams, rng: np.random.Generator,
+                 hamming_weight: Optional[int] = None) -> Polynomial:
+    """Uniform ternary polynomial; optionally with fixed Hamming weight."""
+    if hamming_weight is None:
+        coeffs = rng.integers(-1, 2, params.n)
+    else:
+        if not 0 <= hamming_weight <= params.n:
+            raise ValueError("hamming weight out of range")
+        coeffs = np.zeros(params.n, dtype=np.int64)
+        positions = rng.choice(params.n, size=hamming_weight, replace=False)
+        coeffs[positions] = rng.choice([-1, 1], size=hamming_weight)
+    return Polynomial(coeffs % params.q, params)
+
+
+class DiscreteGaussianSampler:
+    """Discrete Gaussian over the integers via a cumulative table (CDT).
+
+    The LWE definition samples errors from a (discrete) Gaussian; hardware
+    implementations use a precomputed CDT and constant-time table scans.
+    The table covers ``[-tail_cut * sigma, +tail_cut * sigma]``; mass beyond
+    is below 2^-100 for the default 13-sigma cut.
+    """
+
+    def __init__(self, sigma: float, tail_cut: float = 13.0):
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma = sigma
+        self.bound = max(1, int(math.ceil(sigma * tail_cut)))
+        xs = np.arange(-self.bound, self.bound + 1)
+        pdf = np.exp(-(xs.astype(float) ** 2) / (2 * sigma * sigma))
+        pdf /= pdf.sum()
+        self._xs = xs
+        self._cdf = np.cumsum(pdf)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` i.i.d. samples as signed integers."""
+        u = rng.random(count)
+        idx = np.searchsorted(self._cdf, u)
+        return self._xs[np.clip(idx, 0, len(self._xs) - 1)]
+
+
+def gaussian_poly(params: NttParams, rng: np.random.Generator,
+                  sigma: float = 3.2) -> Polynomial:
+    """Polynomial with discrete-Gaussian coefficients (default sigma per
+    the original NewHope/RLWE literature)."""
+    sampler = DiscreteGaussianSampler(sigma)
+    return Polynomial(sampler.sample(params.n, rng) % params.q, params)

@@ -1,0 +1,107 @@
+"""Coarse LWE/RLWE security estimation for the parameter sets.
+
+A hardware paper inherits its parameters' security from the schemes it
+cites; a reproduction should still be able to sanity-check them.  This
+module implements the classic *root-Hermite-factor* estimate (Gama-Nguyen
+delta + the Lindner-Peikert BKZ runtime rule):
+
+* a (R)LWE instance with dimension ``n``, modulus ``q`` and Gaussian-like
+  error width ``sigma`` resists distinguishing attacks roughly while the
+  attacker cannot reach lattice vectors of length ``q / sigma * sqrt(ln(1/eps)/pi)``;
+* achieving root-Hermite factor ``delta`` costs
+  ``log2(T) = 1.8 / log2(delta) - 110`` seconds-scale operations
+  (Lindner-Peikert 2011, eq. 3).
+
+These are *ballpark* numbers - the community's lattice-estimator has long
+superseded them - but they order parameter sets correctly and flag broken
+choices, which is what the tests use them for.  CBD(eta) noise enters via
+its standard deviation ``sqrt(eta / 2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log, log2, pi, sqrt
+
+from ..ntt.params import params_for_degree
+
+__all__ = ["SecurityEstimate", "required_hermite_factor",
+           "bkz_cost_bits", "estimate_rlwe_security", "paper_parameter_review"]
+
+#: distinguishing advantage targeted by the attack model
+DEFAULT_EPSILON = 2 ** -64
+
+
+@dataclass(frozen=True)
+class SecurityEstimate:
+    """Outcome of one estimate."""
+
+    n: int
+    q: int
+    sigma: float
+    delta: float
+    bits: float
+
+    @property
+    def broken(self) -> bool:
+        """delta >= 1.0219 is reachable by plain LLL: no security at all."""
+        return self.delta >= 1.0219
+
+    def __str__(self) -> str:
+        status = "BROKEN (LLL range)" if self.broken else f"~{self.bits:.0f} bits"
+        return (f"RLWE(n={self.n}, q={self.q}, sigma={self.sigma:.2f}): "
+                f"delta={self.delta:.5f} -> {status}")
+
+
+def required_hermite_factor(n: int, q: int, sigma: float,
+                            epsilon: float = DEFAULT_EPSILON) -> float:
+    """The delta an attacker must reach to distinguish with advantage eps.
+
+    Lindner-Peikert: the distinguishing attack needs a vector of length
+    ``alpha * q / sigma_s`` where ``alpha = sqrt(ln(1/eps)/pi)``; in an
+    m-dimensional q-ary lattice the best reachable length is
+    ``2^(2 sqrt(n log2 q log2 delta))`` ... solving for delta:
+
+        log2(delta) = (log2(beta))^2 / (4 n log2 q),
+        beta = q / sigma * sqrt(ln(1/eps) / pi)
+    """
+    if n < 1 or q < 2 or sigma <= 0:
+        raise ValueError("invalid LWE parameters")
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    beta = (q / sigma) * sqrt(log(1 / epsilon) / pi)
+    if beta <= 1:
+        return float("inf")  # error swamps the modulus: trivially secure
+    log_delta = (log2(beta) ** 2) / (4.0 * n * log2(q))
+    return 2.0 ** log_delta
+
+
+def bkz_cost_bits(delta: float) -> float:
+    """Lindner-Peikert BKZ runtime rule: log2(seconds) = 1.8/log2(delta)
+    - 110; returned as a bit-operations-style count (clamped at 0)."""
+    if delta <= 1.0:
+        return float("inf")
+    return max(0.0, 1.8 / log2(delta) - 110.0)
+
+
+def estimate_rlwe_security(n: int, q: int, sigma: float,
+                           epsilon: float = DEFAULT_EPSILON) -> SecurityEstimate:
+    delta = required_hermite_factor(n, q, sigma, epsilon)
+    return SecurityEstimate(n=n, q=q, sigma=sigma, delta=delta,
+                            bits=bkz_cost_bits(delta))
+
+
+def paper_parameter_review(eta: int = 2) -> dict:
+    """Estimate every paper ring with CBD(eta) noise.
+
+    Historical context the numbers reproduce: Kyber round-1 (n=256,
+    q=7681) and NewHope (n=1024, q=12289) target >100-bit security, while
+    a *single* 20-bit prime at n=2048 (the SEAL evaluation modulus) is
+    comfortable, and small-n/large-q combinations visibly degrade.
+    """
+    sigma = sqrt(eta / 2)
+    review = {}
+    for n in (256, 512, 1024, 2048, 4096, 8192, 16384, 32768):
+        p = params_for_degree(n)
+        review[n] = estimate_rlwe_security(n, p.q, sigma)
+    return review

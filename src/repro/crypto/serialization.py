@@ -1,0 +1,134 @@
+"""Wire formats: bit-packed serialization of ring elements and keys.
+
+Key/ciphertext sizes are a first-class metric for lattice schemes (the
+intro's Frodo comparison is about exactly this).  This module provides the
+canonical packing - each coefficient occupies ``ceil(log2 q)`` bits, no
+padding between coefficients - plus typed envelopes for the RLWE scheme's
+keys and ciphertexts, with sizes that match the theory to the byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from ..ntt.params import NttParams, params_for_degree
+from ..ntt.polynomial import Polynomial
+from .rlwe import RlweCiphertext, RlwePublicKey, RlweSecretKey
+
+__all__ = [
+    "pack_coefficients",
+    "unpack_coefficients",
+    "polynomial_to_bytes",
+    "polynomial_from_bytes",
+    "serialize_public_key",
+    "deserialize_public_key",
+    "serialize_ciphertext",
+    "deserialize_ciphertext",
+    "wire_sizes",
+]
+
+_MAGIC = b"CPIM"
+_VERSION = 1
+
+
+def pack_coefficients(values: np.ndarray, bits: int) -> bytes:
+    """Pack unsigned values into a dense little-endian bitstream."""
+    values = np.asarray(values, dtype=np.uint64)
+    if bits < 1 or bits > 32:
+        raise ValueError("bits per coefficient must be in [1, 32]")
+    if np.any(values >> np.uint64(bits)):
+        raise OverflowError(f"coefficient does not fit in {bits} bits")
+    total_bits = len(values) * bits
+    buf = bytearray((total_bits + 7) // 8)
+    bitpos = 0
+    for v in values:
+        v = int(v)
+        byte, offset = divmod(bitpos, 8)
+        chunk = v << offset
+        width = bits + offset
+        for i in range((width + 7) // 8):
+            buf[byte + i] |= (chunk >> (8 * i)) & 0xFF
+        bitpos += bits
+    return bytes(buf)
+
+
+def unpack_coefficients(data: bytes, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_coefficients`."""
+    if bits < 1 or bits > 32:
+        raise ValueError("bits per coefficient must be in [1, 32]")
+    needed = (count * bits + 7) // 8
+    if len(data) < needed:
+        raise ValueError("buffer too short for the declared coefficients")
+    out = np.zeros(count, dtype=np.uint64)
+    mask = (1 << bits) - 1
+    for idx in range(count):
+        bitpos = idx * bits
+        byte, offset = divmod(bitpos, 8)
+        window = int.from_bytes(data[byte : byte + (bits + offset + 7) // 8],
+                                "little")
+        out[idx] = (window >> offset) & mask
+    return out
+
+
+def _coeff_bits(params: NttParams) -> int:
+    return (params.q - 1).bit_length()
+
+
+def polynomial_to_bytes(poly: Polynomial) -> bytes:
+    """Header (magic, version, n, q) + packed coefficients."""
+    header = _MAGIC + struct.pack("<BIQ", _VERSION, poly.n, poly.q)
+    return header + pack_coefficients(poly.coeffs, _coeff_bits(poly.params))
+
+
+def polynomial_from_bytes(data: bytes) -> Polynomial:
+    if data[:4] != _MAGIC:
+        raise ValueError("not a CryptoPIM serialization")
+    version, n, q = struct.unpack("<BIQ", data[4 : 4 + 13])
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    params = params_for_degree(n)
+    if params.q != q:
+        raise ValueError(f"modulus mismatch: stored {q}, ring has {params.q}")
+    coeffs = unpack_coefficients(data[17:], n, _coeff_bits(params))
+    return Polynomial(coeffs, params)
+
+
+def serialize_public_key(pk: RlwePublicKey) -> bytes:
+    a_bytes = polynomial_to_bytes(pk.a)
+    b_bytes = polynomial_to_bytes(pk.b)
+    return struct.pack("<I", len(a_bytes)) + a_bytes + b_bytes
+
+
+def deserialize_public_key(data: bytes) -> RlwePublicKey:
+    (a_len,) = struct.unpack("<I", data[:4])
+    return RlwePublicKey(
+        a=polynomial_from_bytes(data[4 : 4 + a_len]),
+        b=polynomial_from_bytes(data[4 + a_len :]),
+    )
+
+
+def serialize_ciphertext(ct: RlweCiphertext) -> bytes:
+    u_bytes = polynomial_to_bytes(ct.u)
+    v_bytes = polynomial_to_bytes(ct.v)
+    return struct.pack("<I", len(u_bytes)) + u_bytes + v_bytes
+
+
+def deserialize_ciphertext(data: bytes) -> RlweCiphertext:
+    (u_len,) = struct.unpack("<I", data[:4])
+    return RlweCiphertext(
+        u=polynomial_from_bytes(data[4 : 4 + u_len]),
+        v=polynomial_from_bytes(data[4 + u_len :]),
+    )
+
+
+def wire_sizes(n: int) -> Tuple[int, int, int]:
+    """(polynomial, public key, ciphertext) bytes on the wire for degree n.
+
+    The theory: one polynomial = 17-byte header + ceil(n * bits / 8).
+    """
+    params = params_for_degree(n)
+    poly = 17 + (n * _coeff_bits(params) + 7) // 8
+    return poly, 4 + 2 * poly, 4 + 2 * poly

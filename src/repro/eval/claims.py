@@ -1,0 +1,189 @@
+"""Headline claims: every derived ratio the paper quotes in prose.
+
+Each claim is recomputed from this library's models and paired with the
+value the paper states, so EXPERIMENTS.md (and the tests) can check that
+who-wins-by-roughly-what-factor is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Sequence
+
+from ..baselines.cpu import CpuModel
+from ..baselines.fpga import FpgaModel
+from ..core.pipeline import PipelineModel
+from ..ntt.params import PAPER_DEGREES, PUBLIC_KEY_DEGREES
+from .experiments import figure5, figure6
+
+__all__ = ["Claim", "headline_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper's prose."""
+
+    name: str
+    description: str
+    paper_value: float
+    measured_value: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper - how faithfully the claim reproduces."""
+        return self.measured_value / self.paper_value
+
+    def within(self, rel_tol: float) -> bool:
+        return abs(self.ratio - 1.0) <= rel_tol
+
+    def __str__(self) -> str:
+        return (f"{self.name}: paper {self.paper_value:g}, "
+                f"measured {self.measured_value:g} "
+                f"({100 * (self.ratio - 1):+.1f}%)")
+
+
+def _cryptopim_reports(degrees: Sequence[int]):
+    return {n: PipelineModel.for_degree(n).report(pipelined=True) for n in degrees}
+
+
+def headline_claims() -> List[Claim]:
+    """Recompute every prose claim of Sections I and IV."""
+    cpu = CpuModel()
+    fpga = FpgaModel()
+    pk = _cryptopim_reports(PUBLIC_KEY_DEGREES)
+    all_reports = _cryptopim_reports(PAPER_DEGREES)
+
+    claims: List[Claim] = []
+
+    # --- vs FPGA (abstract / Section IV-D, public-key degrees only) -------
+    claims.append(Claim(
+        "fpga_throughput_gain",
+        "CryptoPIM vs fastest FPGA: average throughput improvement, "
+        "n in {256, 512, 1024} (paper: '31x')",
+        31.0,
+        mean(pk[n].throughput_per_s / fpga.references[n].throughput_per_s
+             for n in PUBLIC_KEY_DEGREES),
+    ))
+    claims.append(Claim(
+        "fpga_performance_reduction_pct",
+        "CryptoPIM vs FPGA: average 1/latency performance reduction in "
+        "percent (paper: '28%' / 'less than 30%')",
+        28.0,
+        100.0 * (1.0 - mean(
+            fpga.references[n].latency_us / pk[n].latency_us
+            for n in PUBLIC_KEY_DEGREES
+        )),
+    ))
+    claims.append(Claim(
+        "fpga_energy_ratio",
+        "CryptoPIM vs FPGA: average energy ratio (paper: 'the same energy', 1.0)",
+        1.0,
+        mean(pk[n].energy_uj / fpga.references[n].energy_uj
+             for n in PUBLIC_KEY_DEGREES),
+    ))
+
+    # --- vs CPU (Section IV-D) --------------------------------------------
+    claims.append(Claim(
+        "cpu_performance_gain",
+        "CryptoPIM vs X86: average latency improvement over all degrees "
+        "(paper: '7.6x')",
+        7.6,
+        mean(cpu.references[n].latency_us / all_reports[n].latency_us
+             for n in PAPER_DEGREES),
+    ))
+    claims.append(Claim(
+        "cpu_throughput_gain",
+        "CryptoPIM vs X86: average throughput improvement, public-key "
+        "degrees (paper: '111x')",
+        111.0,
+        mean(pk[n].throughput_per_s / cpu.references[n].throughput_per_s
+             for n in PUBLIC_KEY_DEGREES),
+    ))
+    claims.append(Claim(
+        "cpu_energy_gain",
+        "CryptoPIM vs X86: average energy improvement, public-key degrees "
+        "(paper: '226x')",
+        226.0,
+        mean(cpu.references[n].energy_uj / pk[n].energy_uj
+             for n in PUBLIC_KEY_DEGREES),
+    ))
+
+    # --- pipelining (Section IV-B) ------------------------------------------
+    fig5 = {row.n: row for row in figure5()}
+    small = [fig5[n] for n in PAPER_DEGREES if n <= 1024]
+    large = [fig5[n] for n in PAPER_DEGREES if n > 1024]
+    claims.append(Claim(
+        "pipelining_throughput_gain_small",
+        "Pipelining throughput gain, n <= 1024 (paper: '27.8x')",
+        27.8,
+        mean(r.throughput_gain for r in small),
+    ))
+    claims.append(Claim(
+        "pipelining_throughput_gain_large",
+        "Pipelining throughput gain, n > 1024 (paper: '36.3x')",
+        36.3,
+        mean(r.throughput_gain for r in large),
+    ))
+    claims.append(Claim(
+        "pipelining_latency_overhead_small_pct",
+        "Pipelining latency overhead percent, n <= 1024 (paper: '29%')",
+        29.0,
+        100.0 * mean(r.latency_overhead for r in small),
+    ))
+    claims.append(Claim(
+        "pipelining_latency_overhead_large_pct",
+        "Pipelining latency overhead percent, n > 1024 (paper: '59.7%')",
+        59.7,
+        100.0 * mean(r.latency_overhead for r in large),
+    ))
+    claims.append(Claim(
+        "pipelining_energy_increase_pct",
+        "Pipelining energy increase percent, average (paper: '1.6%')",
+        1.6,
+        100.0 * mean(r.energy_increase for r in figure5()),
+    ))
+
+    # --- vs PIM baselines (Section IV-C) ---------------------------------------
+    fig6 = figure6()
+    claims.append(Claim(
+        "bp2_over_bp1",
+        "BP-2 speedup over BP-1, average (paper: '1.9x')",
+        1.9,
+        mean(row.speedup("BP-1", "BP-2") for row in fig6),
+    ))
+    claims.append(Claim(
+        "bp3_over_bp2",
+        "BP-3 speedup over BP-2, average (paper: '5.5x')",
+        5.5,
+        mean(row.speedup("BP-2", "BP-3") for row in fig6),
+    ))
+    claims.append(Claim(
+        "cryptopim_over_bp3",
+        "CryptoPIM speedup over BP-3, average (paper: '1.2x')",
+        1.2,
+        mean(row.speedup("BP-3", "CryptoPIM") for row in fig6),
+    ))
+    claims.append(Claim(
+        "cryptopim_over_bp1",
+        "CryptoPIM speedup over BP-1 (state-of-the-art PIM), average "
+        "(paper: '12.7x')",
+        12.7,
+        mean(row.speedup("BP-1", "CryptoPIM") for row in fig6),
+    ))
+
+    # --- device robustness (Section IV-A) -----------------------------------------
+    from .experiments import variation_study
+    claims.append(Claim(
+        "mc_noise_margin_reduction_pct",
+        "Max noise-margin reduction over 5000 Monte-Carlo samples "
+        "(paper: '25.6%')",
+        25.6,
+        variation_study().max_reduction_pct,
+    ))
+
+    return claims
+
+
+def claims_by_name() -> Dict[str, Claim]:
+    return {c.name: c for c in headline_claims()}

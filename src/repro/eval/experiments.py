@@ -1,0 +1,252 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every function returns plain data (lists of dataclass rows) so benchmarks,
+tests and the text renderer in :mod:`repro.eval.report` all share a single
+source of truth.  The mapping to the paper:
+
+* :func:`table1` - Table I, modulo-operation cycles.
+* :func:`table2` - Table II, CPU vs FPGA vs pipelined CryptoPIM.
+* :func:`figure4` - Fig. 4, stage-by-stage pipeline breakdown.
+* :func:`figure5` - Fig. 5, normalised latency/throughput, NP vs P.
+* :func:`figure6` - Fig. 6, PIM baseline comparison.
+* :func:`variation_study` - Section IV-A Monte-Carlo robustness run.
+* :func:`repro.eval.claims.headline_claims` - every derived ratio the
+  paper quotes in prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.cpu import CpuModel
+from ..baselines.fpga import FpgaModel
+from ..baselines.pim_baselines import baseline_models
+from ..core.config import PipelineVariant
+from ..core.pipeline import PipelineModel
+from ..ntt.params import PAPER_DEGREES
+from ..pim.reduction_programs import PAPER_MODULI, TABLE1_PAPER, ReductionKit
+from ..pim.variation import VariationResult, monte_carlo_noise_margin
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Figure4Block",
+    "Figure5Row",
+    "Figure6Row",
+    "table1",
+    "table2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "variation_study",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    q: int
+    reduction: str  # 'barrett' | 'montgomery'
+    model_cycles: int
+    paper_cycles: Optional[int]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper_cycles is None:
+            return None
+        return self.model_cycles / self.paper_cycles
+
+
+def table1() -> List[Table1Row]:
+    """Regenerate Table I: reduction cycles per modulus."""
+    rows: List[Table1Row] = []
+    for kind in ("barrett", "montgomery"):
+        for q in PAPER_MODULI:
+            kit = ReductionKit.for_modulus(q)
+            program = kit.barrett if kind == "barrett" else kit.montgomery
+            rows.append(
+                Table1Row(
+                    q=q,
+                    reduction=kind,
+                    model_cycles=program.cost().cycles,
+                    paper_cycles=TABLE1_PAPER[kind][q],
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    design: str  # 'cpu' | 'fpga' | 'cryptopim'
+    n: int
+    bitwidth: int
+    latency_us: float
+    energy_uj: float
+    throughput_per_s: float
+    source: str  # 'paper-reference' | 'model'
+
+
+def table2(degrees: Sequence[int] = PAPER_DEGREES) -> List[Table2Row]:
+    """Regenerate Table II.
+
+    CPU/FPGA rows come from the embedded paper references (model
+    predictions where the paper has none); CryptoPIM rows are *computed*
+    by the pipeline model.
+    """
+    cpu = CpuModel()
+    fpga = FpgaModel()
+    rows: List[Table2Row] = []
+    for n in degrees:
+        ref = cpu.reference_or_model(n)
+        rows.append(Table2Row("cpu", n, ref.bitwidth, ref.latency_us,
+                              ref.energy_uj, ref.throughput_per_s,
+                              "paper-reference" if n in cpu.references else "model"))
+    for n in degrees:
+        if fpga.has_reference(n):
+            ref = fpga.reference_or_model(n)
+            rows.append(Table2Row("fpga", n, ref.bitwidth, ref.latency_us,
+                                  ref.energy_uj, ref.throughput_per_s,
+                                  "paper-reference"))
+    for n in degrees:
+        report = PipelineModel.for_degree(n).report(pipelined=True)
+        rows.append(Table2Row("cryptopim", n, report.bitwidth, report.latency_us,
+                              report.energy_uj, report.throughput_per_s, "model"))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure4Block:
+    variant: str
+    label: str
+    phase: str
+    cycles: int
+    is_slowest: bool
+
+
+def figure4(n: int = 256) -> Dict[str, List[Figure4Block]]:
+    """Regenerate Fig. 4: the per-block latency breakdown of each pipeline
+    variant (paper shows n=256, 16-bit: 2700 / 1756 / 1643 cycles/stage)."""
+    out: Dict[str, List[Figure4Block]] = {}
+    for variant in PipelineVariant:
+        model = PipelineModel.for_degree(n, variant=variant)
+        slowest = model.stage_cycles
+        out[variant.value] = [
+            Figure4Block(
+                variant=variant.value,
+                label=block.label,
+                phase=block.phase,
+                cycles=block.latency(model.policy),
+                is_slowest=block.latency(model.policy) == slowest,
+            )
+            for block in model.blocks
+        ]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure5Row:
+    n: int
+    np_latency_us: float
+    p_latency_us: float
+    np_throughput: float
+    p_throughput: float
+    np_energy_uj: float
+    p_energy_uj: float
+
+    @property
+    def latency_overhead(self) -> float:
+        """Pipelining latency overhead (paper: 29% small / 59.7% large)."""
+        return self.p_latency_us / self.np_latency_us - 1.0
+
+    @property
+    def throughput_gain(self) -> float:
+        """Pipelining throughput gain (paper: 27.8x small / 36.3x large)."""
+        return self.p_throughput / self.np_throughput
+
+    @property
+    def energy_increase(self) -> float:
+        """Pipelining energy increase (paper: ~1.6% average)."""
+        return self.p_energy_uj / self.np_energy_uj - 1.0
+
+
+def figure5(degrees: Sequence[int] = PAPER_DEGREES) -> List[Figure5Row]:
+    """Regenerate Fig. 5: non-pipelined vs pipelined CryptoPIM across n.
+
+    The non-pipelined design runs the area-efficient block arrangement; the
+    pipelined one the CryptoPIM arrangement (Section III-D.1).
+    """
+    rows: List[Figure5Row] = []
+    for n in degrees:
+        np_model = PipelineModel.for_degree(
+            n, variant=PipelineVariant.AREA_EFFICIENT
+        )
+        p_model = PipelineModel.for_degree(n)
+        np_report = np_model.report(pipelined=False)
+        p_report = p_model.report(pipelined=True)
+        rows.append(
+            Figure5Row(
+                n=n,
+                np_latency_us=np_report.latency_us,
+                p_latency_us=p_report.latency_us,
+                np_throughput=np_report.throughput_per_s,
+                p_throughput=p_report.throughput_per_s,
+                np_energy_uj=np_report.energy_uj,
+                p_energy_uj=p_report.energy_uj,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure6Row:
+    n: int
+    latency_us: Dict[str, float]  # series label -> non-pipelined latency
+
+    def speedup(self, slower: str, faster: str) -> float:
+        return self.latency_us[slower] / self.latency_us[faster]
+
+
+def figure6(degrees: Sequence[int] = PAPER_DEGREES) -> List[Figure6Row]:
+    """Regenerate Fig. 6: BP-1/BP-2/BP-3 vs CryptoPIM, non-pipelined."""
+    rows: List[Figure6Row] = []
+    for n in degrees:
+        models = baseline_models(n)
+        rows.append(
+            Figure6Row(
+                n=n,
+                latency_us={
+                    label: model.latency_us(pipelined=False)
+                    for label, model in models.items()
+                },
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section IV-A robustness
+# ---------------------------------------------------------------------------
+
+def variation_study(samples: int = 5000, seed: int = 2020) -> VariationResult:
+    """Rerun the paper's 5000-sample Monte-Carlo robustness study."""
+    return monte_carlo_noise_margin(samples=samples, seed=seed)

@@ -1,0 +1,96 @@
+"""Machine-readable export of every experiment (CSV / JSON).
+
+The text renderer serves humans; downstream plotting and regression
+tracking want structured data.  ``export_all(dir)`` writes one CSV per
+table/figure plus a combined JSON, all derived from the same experiment
+functions the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List
+
+from .claims import headline_claims
+from .experiments import figure4, figure5, figure6, table1, table2, variation_study
+
+__all__ = ["table_rows", "export_all"]
+
+
+def table_rows() -> Dict[str, List[dict]]:
+    """Every experiment as a list of flat dictionaries."""
+    out: Dict[str, List[dict]] = {}
+    out["table1"] = [
+        {"reduction": r.reduction, "q": r.q, "model_cycles": r.model_cycles,
+         "paper_cycles": r.paper_cycles}
+        for r in table1()
+    ]
+    out["table2"] = [
+        {"design": r.design, "n": r.n, "bitwidth": r.bitwidth,
+         "latency_us": round(r.latency_us, 4),
+         "energy_uj": round(r.energy_uj, 4),
+         "throughput_per_s": round(r.throughput_per_s, 2),
+         "source": r.source}
+        for r in table2()
+    ]
+    out["figure4"] = [
+        {"variant": b.variant, "label": b.label, "phase": b.phase,
+         "cycles": b.cycles, "is_slowest": b.is_slowest}
+        for blocks in figure4().values() for b in blocks
+    ]
+    out["figure5"] = [
+        {"n": r.n,
+         "np_latency_us": round(r.np_latency_us, 4),
+         "p_latency_us": round(r.p_latency_us, 4),
+         "np_throughput": round(r.np_throughput, 2),
+         "p_throughput": round(r.p_throughput, 2),
+         "np_energy_uj": round(r.np_energy_uj, 4),
+         "p_energy_uj": round(r.p_energy_uj, 4),
+         "throughput_gain": round(r.throughput_gain, 3),
+         "latency_overhead": round(r.latency_overhead, 4)}
+        for r in figure5()
+    ]
+    out["figure6"] = [
+        {"n": r.n, **{f"latency_us_{k}": round(v, 3)
+                      for k, v in r.latency_us.items()}}
+        for r in figure6()
+    ]
+    out["claims"] = [
+        {"name": c.name, "paper": c.paper_value,
+         "measured": round(c.measured_value, 4),
+         "deviation_pct": round(100 * (c.ratio - 1), 2)}
+        for c in headline_claims()
+    ]
+    mc = variation_study()
+    out["variation"] = [{
+        "samples": mc.samples,
+        "nominal_margin_v": round(mc.nominal_margin_v, 4),
+        "worst_margin_v": round(mc.worst_margin_v, 4),
+        "max_reduction_pct": round(mc.max_reduction_pct, 2),
+        "failures": mc.failures,
+    }]
+    return out
+
+
+def export_all(directory: str | pathlib.Path) -> List[pathlib.Path]:
+    """Write one CSV per experiment and a combined ``experiments.json``.
+
+    Returns the written paths.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    rows = table_rows()
+    for name, records in rows.items():
+        path = directory / f"{name}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+            writer.writeheader()
+            writer.writerows(records)
+        written.append(path)
+    combined = directory / "experiments.json"
+    combined.write_text(json.dumps(rows, indent=2))
+    written.append(combined)
+    return written

@@ -1,0 +1,146 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harness prints these so a run of ``pytest benchmarks/``
+leaves the same rows/series the paper reports in the captured output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .claims import headline_claims
+from .experiments import figure4, figure5, figure6, table1, table2, variation_study
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_claims",
+    "render_variation",
+    "render_all",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Minimal aligned-column text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    rows = [
+        (r.reduction, r.q, r.model_cycles,
+         r.paper_cycles if r.paper_cycles is not None else "(illegible)",
+         f"{r.ratio:.2f}" if r.ratio is not None else "-")
+        for r in table1()
+    ]
+    return format_table(
+        ("reduction", "q", "model cycles", "paper cycles", "model/paper"),
+        rows,
+        title="Table I - Execution time (cycles) for modulo operation",
+    )
+
+
+def render_table2() -> str:
+    rows = [
+        (r.design, r.n, r.bitwidth, f"{r.latency_us:.2f}",
+         f"{r.energy_uj:.2f}", f"{r.throughput_per_s:,.0f}", r.source)
+        for r in table2()
+    ]
+    return format_table(
+        ("design", "N", "bits", "latency (us)", "energy (uJ)",
+         "throughput (/s)", "source"),
+        rows,
+        title="Table II - CryptoPIM vs FPGA and CPU",
+    )
+
+
+def render_figure4(n: int = 256) -> str:
+    sections = []
+    for variant, blocks in figure4(n).items():
+        stage = max(b.cycles for b in blocks)
+        rows = [
+            (b.label, b.phase, b.cycles, "<- slowest" if b.is_slowest else "")
+            for b in blocks
+        ]
+        sections.append(format_table(
+            ("block", "phase", "cycles", ""),
+            rows,
+            title=(f"Figure 4 ({variant}) - n={n}: {len(blocks)} blocks, "
+                   f"stage latency {stage} cycles"),
+        ))
+    return "\n\n".join(sections)
+
+
+def render_figure5() -> str:
+    rows = [
+        (r.n, f"{r.np_latency_us:.2f}", f"{r.p_latency_us:.2f}",
+         f"{r.np_throughput:,.0f}", f"{r.p_throughput:,.0f}",
+         f"{r.np_energy_uj:.2f}", f"{r.p_energy_uj:.2f}",
+         f"{r.throughput_gain:.1f}x", f"{100 * r.latency_overhead:.1f}%")
+        for r in figure5()
+    ]
+    return format_table(
+        ("N", "NP lat (us)", "P lat (us)", "NP tput", "P tput",
+         "NP E (uJ)", "P E (uJ)", "tput gain", "lat ovh"),
+        rows,
+        title="Figure 5 - latency & throughput, non-pipelined vs pipelined",
+    )
+
+
+def render_figure6() -> str:
+    series = ("BP-1", "BP-2", "BP-3", "CryptoPIM")
+    rows = [
+        [r.n] + [f"{r.latency_us[s]:.1f}" for s in series]
+        + [f"{r.speedup('BP-1', 'CryptoPIM'):.1f}x"]
+        for r in figure6()
+    ]
+    return format_table(
+        ("N",) + tuple(f"{s} (us)" for s in series) + ("BP-1/CryptoPIM",),
+        rows,
+        title="Figure 6 - comparison with PIM baselines (non-pipelined)",
+    )
+
+
+def render_claims() -> str:
+    rows = [
+        (c.name, f"{c.paper_value:g}", f"{c.measured_value:.3g}",
+         f"{100 * (c.ratio - 1):+.1f}%")
+        for c in headline_claims()
+    ]
+    return format_table(
+        ("claim", "paper", "measured", "deviation"),
+        rows,
+        title="Headline claims (paper prose vs this reproduction)",
+    )
+
+
+def render_variation() -> str:
+    return "Section IV-A robustness: " + str(variation_study())
+
+
+def render_all() -> str:
+    return "\n\n".join([
+        render_table1(),
+        render_table2(),
+        render_figure4(),
+        render_figure5(),
+        render_figure6(),
+        render_claims(),
+        render_variation(),
+    ])

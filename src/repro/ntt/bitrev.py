@@ -1,0 +1,63 @@
+"""Bit-reversal permutation.
+
+The Gentleman-Sande NTT consumes its input in bit-reversed order and emits
+it in natural order (Algorithm 1 lines 4 and 11).  In CryptoPIM the
+permutation is free: it only changes *which row* of the memory block a value
+is written to (Section III-B.2, "Bit-reversal").  The functions here are the
+mathematical permutation used by every layer.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = [
+    "reverse_bits",
+    "bitrev_indices",
+    "bitrev_permute",
+    "bitrev_permute_array",
+]
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the lowest ``width`` bits of ``value``.
+
+    >>> reverse_bits(0b0011, 4)
+    12
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+@lru_cache(maxsize=64)
+def bitrev_indices(n: int) -> tuple:
+    """The bit-reversal permutation of ``range(n)`` for power-of-two ``n``.
+
+    Cached because the same ``n`` is used millions of times across a run.
+    """
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"n must be a positive power of two, got {n}")
+    width = n.bit_length() - 1
+    return tuple(reverse_bits(i, width) for i in range(n))
+
+
+def bitrev_permute(values: Sequence[T]) -> List[T]:
+    """Return ``values`` reordered into bit-reversed index order."""
+    indices = bitrev_indices(len(values))
+    return [values[i] for i in indices]
+
+
+def bitrev_permute_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised bit-reversal permutation of a 1-D numpy array."""
+    indices = np.asarray(bitrev_indices(len(values)), dtype=np.int64)
+    return values[indices]

@@ -1,0 +1,187 @@
+"""Modular arithmetic primitives for NTT-based polynomial multiplication.
+
+Everything in this module operates on plain Python integers (arbitrary
+precision) and is used both as the mathematical ground truth for the PIM
+simulator and as the software reference path (the "CPU implementation" of
+the paper's Table II).
+
+All moduli used by CryptoPIM are NTT-friendly primes: ``q = 7681`` (Kyber,
+n <= 256), ``q = 12289`` (NewHope, n = 512/1024) and ``q = 786433``
+(Microsoft SEAL, n >= 2048).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "egcd",
+    "mod_inverse",
+    "mod_add",
+    "mod_sub",
+    "mod_mul",
+    "mod_pow",
+    "is_prime",
+    "factorize",
+    "primitive_root",
+    "nth_root_of_unity",
+    "is_nth_root_of_unity",
+    "bit_length_of_modulus",
+    "centered",
+]
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``.
+
+    Iterative to avoid recursion limits for adversarial inputs.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+        old_y, y = y, old_y - quotient * y
+    return old_r, old_x, old_y
+
+
+def mod_inverse(a: int, q: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``q``.
+
+    Raises:
+        ZeroDivisionError: if ``a`` and ``q`` are not coprime.
+    """
+    a %= q
+    g, x, _ = egcd(a, q)
+    if g != 1:
+        raise ZeroDivisionError(f"{a} has no inverse modulo {q} (gcd = {g})")
+    return x % q
+
+
+def mod_add(a: int, b: int, q: int) -> int:
+    """``(a + b) mod q``."""
+    return (a + b) % q
+
+
+def mod_sub(a: int, b: int, q: int) -> int:
+    """``(a - b) mod q``."""
+    return (a - b) % q
+
+
+def mod_mul(a: int, b: int, q: int) -> int:
+    """``(a * b) mod q``."""
+    return (a * b) % q
+
+
+def mod_pow(base: int, exponent: int, q: int) -> int:
+    """``base ** exponent mod q`` supporting negative exponents.
+
+    A negative exponent is resolved through :func:`mod_inverse`, so the base
+    must be invertible modulo ``q`` in that case.
+    """
+    if exponent < 0:
+        return pow(mod_inverse(base, q), -exponent, q)
+    return pow(base, exponent, q)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test.
+
+    Uses a witness set proven sufficient for every ``n < 3.3 * 10**24``,
+    which covers any modulus a lattice scheme would realistically use.
+    """
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in small_primes:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def factorize(n: int) -> List[int]:
+    """Return the sorted list of distinct prime factors of ``n`` (trial division).
+
+    Adequate for the group orders that arise here (``q - 1`` for ~20-bit
+    NTT primes); not intended for cryptanalytic-size inputs.
+    """
+    if n < 1:
+        raise ValueError("factorize expects a positive integer")
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def primitive_root(q: int) -> int:
+    """Return the smallest primitive root (generator of ``Z_q^*``) of prime ``q``."""
+    if not is_prime(q):
+        raise ValueError(f"{q} is not prime; primitive roots require a prime modulus")
+    if q == 2:
+        return 1
+    order = q - 1
+    prime_factors = factorize(order)
+    for candidate in range(2, q):
+        if all(pow(candidate, order // p, q) != 1 for p in prime_factors):
+            return candidate
+    raise ArithmeticError(f"no primitive root found for {q}")  # pragma: no cover
+
+
+def nth_root_of_unity(n: int, q: int) -> int:
+    """Return a primitive ``n``-th root of unity modulo prime ``q``.
+
+    Requires ``n | q - 1``.  The returned ``w`` satisfies ``w^n == 1`` and
+    ``w^(n/p) != 1`` for every prime ``p | n``.
+    """
+    if (q - 1) % n != 0:
+        raise ValueError(
+            f"q = {q} does not support an order-{n} subgroup: n must divide q - 1"
+        )
+    g = primitive_root(q)
+    w = pow(g, (q - 1) // n, q)
+    assert is_nth_root_of_unity(w, n, q)
+    return w
+
+
+def is_nth_root_of_unity(w: int, n: int, q: int) -> bool:
+    """Check that ``w`` is a *primitive* ``n``-th root of unity modulo ``q``."""
+    if pow(w, n, q) != 1:
+        return False
+    return all(pow(w, n // p, q) != 1 for p in factorize(n))
+
+
+def bit_length_of_modulus(q: int) -> int:
+    """Number of bits needed to represent values in ``[0, q)``."""
+    return max(1, (q - 1).bit_length())
+
+
+def centered(a: int, q: int) -> int:
+    """Map ``a mod q`` to the centered representative in ``(-q/2, q/2]``."""
+    a %= q
+    if a > q // 2:
+        a -= q
+    return a

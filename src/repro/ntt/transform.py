@@ -1,0 +1,208 @@
+"""Gentleman-Sande number theoretic transform (Algorithms 1 and 2).
+
+The paper computes both the forward and the inverse transform with the same
+Gentleman-Sande (GS) kernel, following the NewHope reference implementation
+[19]: the kernel consumes its input in *bit-reversed* order, produces
+*natural* order output, and walks butterfly distances ``1, 2, 4, ...``
+(Algorithm 2, ``j' = j + (1 << i)``).  Twiddle factors ``w^i`` are stored in
+bit-reversed order (Algorithm 1 line 2) and indexed as
+``twiddle[j >> (i + 1)]``.
+
+Negacyclic multiplication in ``Z_q[x]/(x^n + 1)`` (Algorithm 1) wraps the
+kernel with the ``phi^i`` twist: scale inputs by ``phi^i``, transform,
+multiply pointwise, inverse-transform, scale by ``n^-1 * phi^-i``.
+
+Two implementations are provided with identical semantics:
+
+* pure-Python on ``list[int]`` - the readable ground truth;
+* vectorised numpy on ``uint64`` arrays - the fast path used by the PIM
+  simulator's functional mode and the CPU baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .bitrev import bitrev_indices, bitrev_permute, bitrev_permute_array
+from .params import NttParams, params_for_degree
+
+__all__ = [
+    "ntt_gs",
+    "intt_gs",
+    "negacyclic_multiply",
+    "ntt_gs_np",
+    "intt_gs_np",
+    "negacyclic_multiply_np",
+    "NttEngine",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pure-Python reference kernel
+# ---------------------------------------------------------------------------
+
+def _gs_kernel(values: List[int], twiddles_bitrev: Sequence[int], q: int) -> List[int]:
+    """In-place GS butterflies on a bit-reversed-order input list.
+
+    Returns the same list, now holding the transform in natural order.
+    This is a literal transcription of Algorithm 2.
+    """
+    n = len(values)
+    if n & (n - 1) or n < 2:
+        raise ValueError(f"length must be a power of two >= 2, got {n}")
+    log_n = n.bit_length() - 1
+    for i in range(log_n):
+        distance = 1 << i
+        for j in range(n):
+            if j & distance:
+                continue  # j indexes the top element of each butterfly pair
+            j_pair = j + distance
+            w = twiddles_bitrev[j >> (i + 1)]
+            t = values[j]
+            values[j] = (t + values[j_pair]) % q
+            values[j_pair] = (w * (t - values[j_pair])) % q
+    return values
+
+
+def ntt_gs(values: Sequence[int], params: NttParams) -> List[int]:
+    """Forward GS NTT.
+
+    Args:
+        values: coefficients in **natural** order (the bit-reversal of
+            Algorithm 1 line 4 is applied internally, mirroring how
+            CryptoPIM folds it into the row-write).
+    Returns:
+        The transform ``A[k] = sum_j a_j w^{jk} mod q`` in natural order.
+    """
+    work = bitrev_permute(list(values))
+    return _gs_kernel(work, params.forward_twiddles_bitrev(), params.q)
+
+
+def intt_gs(values: Sequence[int], params: NttParams) -> List[int]:
+    """Inverse GS NTT (without the negacyclic ``phi`` post-twist).
+
+    Applies the same kernel with ``w^-1`` twiddles and multiplies by
+    ``n^-1``, so that ``intt_gs(ntt_gs(a)) == a``.
+    """
+    work = bitrev_permute(list(values))
+    _gs_kernel(work, params.inverse_twiddles_bitrev(), params.q)
+    return [(v * params.n_inv) % params.q for v in work]
+
+
+def negacyclic_multiply(
+    a: Sequence[int], b: Sequence[int], params: NttParams
+) -> List[int]:
+    """Algorithm 1: multiply two polynomials in ``Z_q[x]/(x^n + 1)``."""
+    n, q = params.n, params.q
+    if len(a) != n or len(b) != n:
+        raise ValueError(f"operands must have exactly n={n} coefficients")
+    phi = params.phi_powers()
+    a_twisted = [(x * p) % q for x, p in zip(a, phi)]
+    b_twisted = [(x * p) % q for x, p in zip(b, phi)]
+    a_hat = ntt_gs(a_twisted, params)
+    b_hat = ntt_gs(b_twisted, params)
+    c_hat = [(x * y) % q for x, y in zip(a_hat, b_hat)]
+    c_twisted = intt_gs(c_hat, params)
+    phi_inv = params.phi_inv_powers()
+    return [(x * p) % q for x, p in zip(c_twisted, phi_inv)]
+
+
+# ---------------------------------------------------------------------------
+# Vectorised numpy kernel
+# ---------------------------------------------------------------------------
+
+def _gs_kernel_np(values: np.ndarray, twiddles_bitrev: np.ndarray, q: int) -> np.ndarray:
+    """Vectorised Algorithm 2 on a bit-reversed uint64 array (in place)."""
+    n = len(values)
+    log_n = n.bit_length() - 1
+    for i in range(log_n):
+        distance = 1 << i
+        idx = np.arange(n, dtype=np.int64)
+        tops = idx[(idx & distance) == 0]
+        bots = tops + distance
+        w = twiddles_bitrev[tops >> (i + 1)]
+        t = values[tops].copy()
+        values[tops] = (t + values[bots]) % q
+        # (t - bots) can be negative; lift by q before the unsigned subtract
+        diff = (t + q - values[bots]) % q
+        values[bots] = (w * diff) % q
+    return values
+
+
+def ntt_gs_np(values: np.ndarray, params: NttParams) -> np.ndarray:
+    """Vectorised forward NTT; natural-order in, natural-order out."""
+    work = bitrev_permute_array(np.asarray(values, dtype=np.uint64) % params.q)
+    tw = np.asarray(params.forward_twiddles_bitrev(), dtype=np.uint64)
+    return _gs_kernel_np(work, tw, params.q)
+
+
+def intt_gs_np(values: np.ndarray, params: NttParams) -> np.ndarray:
+    """Vectorised inverse NTT including the ``n^-1`` scaling."""
+    work = bitrev_permute_array(np.asarray(values, dtype=np.uint64) % params.q)
+    tw = np.asarray(params.inverse_twiddles_bitrev(), dtype=np.uint64)
+    _gs_kernel_np(work, tw, params.q)
+    return (work * params.n_inv) % params.q
+
+
+def negacyclic_multiply_np(
+    a: np.ndarray, b: np.ndarray, params: NttParams
+) -> np.ndarray:
+    """Vectorised Algorithm 1."""
+    q = params.q
+    phi = np.asarray(params.phi_powers(), dtype=np.uint64)
+    a_hat = ntt_gs_np((np.asarray(a, dtype=np.uint64) * phi) % q, params)
+    b_hat = ntt_gs_np((np.asarray(b, dtype=np.uint64) * phi) % q, params)
+    c_twisted = intt_gs_np((a_hat * b_hat) % q, params)
+    phi_inv = np.asarray(params.phi_inv_powers(), dtype=np.uint64)
+    return (c_twisted * phi_inv) % q
+
+
+# ---------------------------------------------------------------------------
+# Engine facade
+# ---------------------------------------------------------------------------
+
+class NttEngine:
+    """Convenience bundle of one parameter set plus cached twiddle tables.
+
+    This is the software multiplier used by the crypto layer and by the CPU
+    baseline; the PIM accelerator exposes the same ``multiply`` signature so
+    the two are interchangeable backends.
+    """
+
+    def __init__(self, params: NttParams):
+        self.params = params
+        self._phi = np.asarray(params.phi_powers(), dtype=np.uint64)
+        self._phi_inv = np.asarray(params.phi_inv_powers(), dtype=np.uint64)
+        self._fwd_tw = np.asarray(params.forward_twiddles_bitrev(), dtype=np.uint64)
+        self._inv_tw = np.asarray(params.inverse_twiddles_bitrev(), dtype=np.uint64)
+
+    @classmethod
+    def for_degree(cls, n: int) -> "NttEngine":
+        return cls(params_for_degree(n))
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def q(self) -> int:
+        return self.params.q
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        work = bitrev_permute_array(np.asarray(values, dtype=np.uint64) % self.q)
+        return _gs_kernel_np(work, self._fwd_tw, self.q)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        work = bitrev_permute_array(np.asarray(values, dtype=np.uint64) % self.q)
+        _gs_kernel_np(work, self._inv_tw, self.q)
+        return (work * self.params.n_inv) % self.q
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two coefficient vectors."""
+        q = self.q
+        a_hat = self.forward((np.asarray(a, dtype=np.uint64) * self._phi) % q)
+        b_hat = self.forward((np.asarray(b, dtype=np.uint64) * self._phi) % q)
+        c = self.inverse((a_hat * b_hat) % q)
+        return (c * self._phi_inv) % q

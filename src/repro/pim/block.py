@@ -1,0 +1,224 @@
+"""PIM-enabled memory block: vector-wide modular arithmetic.
+
+A :class:`PimBlock` is the unit of computation in CryptoPIM (Section III-C):
+one 512x512 crossbar plus the in-memory ALU, executing one phase of the
+polynomial multiplication on up to 512 vector elements in parallel.
+
+The block offers exactly the primitives Algorithm 1/2 needs:
+
+* ``add_mod``  - element-wise addition followed by the Barrett program;
+* ``sub_mod``  - biased subtraction ``(a + q - b)`` (the ``+q`` bias is
+  folded into the two's-complement preset constant of the subtractor, so it
+  costs the plain ``7N + 1``) followed by Barrett;
+* ``mul``      - full-width element-wise product;
+* ``mul_mod``  - product followed by the Montgomery program (operands are
+  expected with one factor in the Montgomery domain, as the twiddle tables
+  are stored);
+* ``reduce``   - run any shift-add reduction program bit-level.
+
+Every operation runs gate-level on boolean column matrices and charges the
+block's :class:`CycleCounter`; a test asserts the metered totals equal the
+paper's closed forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .alu import BitSliceAlu, from_bits, to_bits
+from .crossbar import Crossbar
+from .logic import CycleCounter
+from .shiftadd import INPUT, ShiftAddProgram
+
+__all__ = ["execute_program_bitlevel", "PimBlock"]
+
+
+def _resize(bits: np.ndarray, width: int) -> np.ndarray:
+    """Pad (MSB side) or truncate an MSB-first bit matrix to ``width``."""
+    rows, current = bits.shape
+    if current == width:
+        return bits
+    if current < width:
+        pad = np.zeros((rows, width - current), dtype=bool)
+        return np.concatenate([pad, bits], axis=1)
+    return bits[:, current - width :]
+
+
+def execute_program_bitlevel(
+    program: ShiftAddProgram, alu: BitSliceAlu, values: np.ndarray
+) -> np.ndarray:
+    """Run a shift-add reduction program with genuine gate-level arithmetic.
+
+    Each costed op executes at the same bit-width the cost analysis charges
+    (forward interval bound capped by backward demand), so the ALU's metered
+    cycles equal ``program.cost().cycles`` exactly - a test asserts this.
+    Shifts, masks and right-shifts manipulate columns only and are free.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = program.op_widths()
+    in_width = max(program.input_bound.bit_length(), 1)
+    regs: Dict[str, np.ndarray] = {INPUT: to_bits(values, in_width)}
+    for op, width in zip(program.ops, widths):
+        width = max(width, 1)
+        if op.kind == "load":
+            src = regs[op.src1]
+            shifted = np.concatenate(
+                [src, np.zeros((src.shape[0], op.shift), dtype=bool)], axis=1
+            ) if op.shift else src.copy()
+            regs[op.dst] = shifted
+        elif op.kind == "rshift":
+            src = regs[op.src1]
+            keep = max(src.shape[1] - op.shift, 0)  # shift >= width -> zero
+            regs[op.dst] = (src[:, :keep] if keep
+                            else np.zeros((src.shape[0], 1), dtype=bool))
+        elif op.kind == "mask":
+            regs[op.dst] = _resize(regs[op.src1], op.shift)
+        elif op.kind in ("add", "addc"):
+            a = _resize(regs[op.src1], width)
+            b = regs[op.src2]
+            if op.shift:
+                b = np.concatenate(
+                    [b, np.zeros((b.shape[0], op.shift), dtype=bool)], axis=1
+                )
+            b = _resize(b, width)
+            carry_in = regs[op.src3][:, -1] if op.kind == "addc" else None
+            # carry-out beyond the analysed width never fires; drop it
+            regs[op.dst] = alu.add(a, b, carry_in=carry_in)[:, 1:]
+        elif op.kind == "nzbit":
+            src = _resize(regs[op.src1], max(op.shift, 1))
+            flag = src.any(axis=1)  # one multi-input in-memory OR
+            alu.counter.charge(1, active_rows=src.shape[0])
+            regs[op.dst] = flag[:, None]
+        elif op.kind == "sub":
+            a = _resize(regs[op.src1], width)
+            b = regs[op.src2]
+            if op.shift:
+                b = np.concatenate(
+                    [b, np.zeros((b.shape[0], op.shift), dtype=bool)], axis=1
+                )
+            b = _resize(b, width)
+            diff, _borrow = alu.sub(a, b)  # program proven non-negative
+            regs[op.dst] = diff
+        elif op.kind == "csubq":
+            width = max(width, program.q.bit_length())
+            a = _resize(regs[op.src1], width)
+            qbits = to_bits(
+                np.full(a.shape[0], program.q, dtype=np.uint64), width
+            )
+            diff, borrow = alu.sub(a, qbits)
+            # Rows where a < q keep the original (the conditional write is
+            # the free row-select of the final column copy).
+            keep = borrow[:, None]
+            regs[op.dst] = np.where(keep, a, diff)
+        else:  # pragma: no cover
+            raise AssertionError(op.kind)
+    if "out" not in regs:
+        raise KeyError("program never wrote register 'out'")
+    return from_bits(regs["out"])
+
+
+class PimBlock:
+    """One PIM-enabled 512x512 memory block.
+
+    Args:
+        bitwidth: datapath width N of the values this block processes.
+        rows / cols: crossbar geometry (paper: 512 x 512).
+        counter: shared cycle counter (a bank aggregates its blocks');
+            a private one is created when omitted.
+        label: for reports ("ntt-stage-3/mul" etc.).
+    """
+
+    def __init__(
+        self,
+        bitwidth: int,
+        rows: int = 512,
+        cols: int = 512,
+        counter: Optional[CycleCounter] = None,
+        label: str = "block",
+    ):
+        self.bitwidth = bitwidth
+        self.crossbar = Crossbar(rows, cols)
+        self.counter = counter if counter is not None else CycleCounter()
+        self.alu = BitSliceAlu(self.counter)
+        self.label = label
+
+    @property
+    def rows(self) -> int:
+        return self.crossbar.rows
+
+    def _stage(self, values: np.ndarray, width: int) -> Tuple[np.ndarray, "object"]:
+        """Write a vector into freshly allocated processing columns."""
+        values = np.asarray(values, dtype=np.uint64)
+        if len(values) > self.rows:
+            raise MemoryError(
+                f"{len(values)} elements exceed the {self.rows}-row block"
+            )
+        span = self.crossbar.allocate(width)
+        rows_sel = np.arange(len(values))
+        self.crossbar.write_field(span, values, rows_sel)
+        return self.crossbar.field_bits(span, rows_sel), span
+
+    # -- raw arithmetic -----------------------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise ``a + b`` (width N+1 result), gate-level."""
+        self.crossbar.free_all()
+        abits, _ = self._stage(a, self.bitwidth)
+        bbits, _ = self._stage(b, self.bitwidth)
+        return from_bits(self.alu.add(abits, bbits))
+
+    def sub_biased(self, a: np.ndarray, b: np.ndarray, bias: int) -> np.ndarray:
+        """``a + bias - b`` with the bias folded into the preset constant.
+
+        Used for the butterfly's ``(T - A[j'])`` with ``bias = q`` so the
+        result stays non-negative; hardware injects the constant into the
+        accumulator preset, so the cost is the plain ``7N + 1`` subtract.
+        """
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        biased = a + np.uint64(bias)
+        if np.any(biased >> np.uint64(self.bitwidth)):
+            raise OverflowError(
+                f"a + bias does not fit the {self.bitwidth}-bit datapath"
+            )
+        self.crossbar.free_all()
+        abits, _ = self._stage(biased, self.bitwidth)
+        bbits, _ = self._stage(b, self.bitwidth)
+        diff, borrow = self.alu.sub(abits, bbits)
+        if borrow.any():
+            raise ArithmeticError("biased subtraction underflowed: bias too small")
+        return from_bits(diff)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise full product (2N bits), gate-level cost model."""
+        self.crossbar.free_all()
+        abits, _ = self._stage(a, self.bitwidth)
+        bbits, _ = self._stage(b, self.bitwidth)
+        return from_bits(self.alu.mul(abits, bbits))
+
+    # -- modular composites ---------------------------------------------------
+
+    def reduce(self, values: np.ndarray, program: ShiftAddProgram) -> np.ndarray:
+        """Run a reduction program on a vector, gate-level."""
+        values = np.asarray(values, dtype=np.uint64)
+        if len(values) > self.rows:
+            raise MemoryError("vector exceeds block rows")
+        return execute_program_bitlevel(program, self.alu, values)
+
+    def add_mod(self, a: np.ndarray, b: np.ndarray,
+                barrett: ShiftAddProgram) -> np.ndarray:
+        return self.reduce(self.add(a, b), barrett)
+
+    def sub_mod(self, a: np.ndarray, b: np.ndarray,
+                barrett: ShiftAddProgram) -> np.ndarray:
+        return self.reduce(self.sub_biased(a, b, bias=barrett.q), barrett)
+
+    def mul_mod(self, a: np.ndarray, b: np.ndarray,
+                montgomery: ShiftAddProgram) -> np.ndarray:
+        """Product + REDC: returns ``a * b * R^-1 mod q``."""
+        return self.reduce(self.mul(a, b), montgomery)
+
+    def __repr__(self) -> str:
+        return f"PimBlock({self.label}, N={self.bitwidth}, {self.crossbar!r})"

@@ -1,0 +1,135 @@
+"""ReRAM crossbar memory block model.
+
+Section III-C: "Each memory block is a PIM enabled array of 512 x 512
+memory cells and can process a vector of length 512 at a time."
+
+The model stores cells as a boolean matrix (wordlines x bitlines).  Numbers
+are MSB-first bit runs within a row (Section III-B.1): a block with ``r``
+rows and ``c`` columns holds ``(c / N) * r`` N-bit numbers.  Columns are
+split on demand between *data* columns and *processing* columns - the two
+are physically identical and roles change on the fly, which the model
+mirrors by handing out column spans from a simple allocator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .alu import from_bits, to_bits
+
+__all__ = ["Crossbar", "ColumnSpan"]
+
+DEFAULT_ROWS = 512
+DEFAULT_COLS = 512
+
+
+class ColumnSpan:
+    """A contiguous run of bitlines holding one N-bit field per row."""
+
+    __slots__ = ("start", "width")
+
+    def __init__(self, start: int, width: int):
+        if start < 0 or width < 1:
+            raise ValueError("invalid column span")
+        self.start = start
+        self.width = width
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.width
+
+    def __repr__(self) -> str:
+        return f"ColumnSpan({self.start}:{self.stop})"
+
+
+class Crossbar:
+    """One ``rows x cols`` ReRAM crossbar with bit-level accessors.
+
+    All storage operations validate bounds - the hardware has a hard
+    capacity and a reproduction should fail loudly, not wrap silently.
+    """
+
+    def __init__(self, rows: int = DEFAULT_ROWS, cols: int = DEFAULT_COLS):
+        if rows < 1 or cols < 1:
+            raise ValueError("crossbar dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cells = np.zeros((rows, cols), dtype=bool)
+        self._next_free_col = 0
+
+    # -- column allocation -------------------------------------------------
+
+    def allocate(self, width: int) -> ColumnSpan:
+        """Hand out the next free ``width`` columns (data or processing)."""
+        if self._next_free_col + width > self.cols:
+            raise MemoryError(
+                f"crossbar out of columns: need {width}, "
+                f"have {self.cols - self._next_free_col}"
+            )
+        span = ColumnSpan(self._next_free_col, width)
+        self._next_free_col += width
+        return span
+
+    def free_all(self) -> None:
+        """Release every allocation (block reuse between NTT phases)."""
+        self._next_free_col = 0
+
+    @property
+    def free_columns(self) -> int:
+        return self.cols - self._next_free_col
+
+    def numbers_per_row(self, bitwidth: int) -> int:
+        """Data capacity per row: ``c / N`` numbers (Section III-B.1)."""
+        return self.cols // bitwidth
+
+    def capacity(self, bitwidth: int) -> int:
+        """Total N-bit numbers the block can store: ``(c/N) * r``."""
+        return self.numbers_per_row(bitwidth) * self.rows
+
+    # -- field access --------------------------------------------------------
+
+    def write_field(
+        self,
+        span: ColumnSpan,
+        values: Sequence[int] | np.ndarray,
+        row_map: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Write one number per row into ``span``.
+
+        ``row_map[i]`` gives the destination row of ``values[i]``; this is
+        exactly how CryptoPIM implements bit-reversal for free - the
+        permutation is applied while writing (Section III-B.2).
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        rows = np.arange(len(values)) if row_map is None else np.asarray(row_map)
+        if len(rows) != len(values):
+            raise ValueError("row_map length must match values")
+        if len(values) > self.rows:
+            raise MemoryError(f"{len(values)} values exceed {self.rows} rows")
+        if np.any(rows < 0) or np.any(rows >= self.rows):
+            raise IndexError("row_map entry out of range")
+        self.cells[rows, span.start : span.stop] = to_bits(values, span.width)
+
+    def read_field(
+        self, span: ColumnSpan, rows: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Read the numbers stored in ``span`` (all rows by default)."""
+        sel = slice(None) if rows is None else np.asarray(rows)
+        return from_bits(self.cells[sel, span.start : span.stop])
+
+    def field_bits(self, span: ColumnSpan, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw bit view of a field, for the gate-level ALU."""
+        sel = slice(None) if rows is None else rows
+        return self.cells[sel, span.start : span.stop].copy()
+
+    def store_bits(self, span: ColumnSpan, bits: np.ndarray,
+                   rows: Optional[np.ndarray] = None) -> None:
+        sel = slice(None) if rows is None else rows
+        if bits.shape[-1] != span.width:
+            raise ValueError(f"bit width {bits.shape[-1]} != span width {span.width}")
+        self.cells[sel, span.start : span.stop] = bits
+
+    def __repr__(self) -> str:
+        return f"Crossbar({self.rows}x{self.cols}, free_cols={self.free_columns})"

@@ -1,0 +1,63 @@
+"""Energy model.
+
+The paper derived per-operation energy from HSPICE simulation at 45 nm; we
+substitute an event-based model (see DESIGN.md): total energy is
+
+    E = row_events * e_cell  +  transfer_events * e_transfer
+
+where ``row_events`` counts (gate-cycles x active rows) accumulated by the
+:class:`~repro.pim.logic.CycleCounter` and ``e_cell`` is a single per-event
+energy calibrated once against the n=256 row of Table II (2.58 uJ for a
+pipelined 256-point polynomial multiplication).  Every other energy figure
+in the reproduction is then a prediction.  This preserves the paper's
+claimed *shape*: energy grows with both the number of stages and the number
+of parallel computations per stage (Section IV-B), and the pipelined design
+costs only ~1.6% more than the non-pipelined one because the logic is the
+same and only block-to-block transfers are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import PAPER_DEVICE, DeviceModel
+from .logic import CycleCounter
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joule-level report for one operation batch."""
+
+    compute_uj: float
+    transfer_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        return self.compute_uj + self.transfer_uj
+
+    def __str__(self) -> str:
+        return (f"{self.total_uj:.2f} uJ "
+                f"(compute {self.compute_uj:.2f}, transfer {self.transfer_uj:.2f})")
+
+
+class EnergyModel:
+    """Maps metered activity to energy using the device constants."""
+
+    def __init__(self, device: DeviceModel = PAPER_DEVICE):
+        self.device = device
+
+    def energy_from_events(self, row_events: int, transfer_events: int = 0) -> EnergyBreakdown:
+        """Energy for explicit event counts (events = cycles x active rows)."""
+        compute_events = row_events - transfer_events
+        if compute_events < 0:
+            raise ValueError("transfer events cannot exceed total row events")
+        return EnergyBreakdown(
+            compute_uj=compute_events * self.device.switch_energy_pj * 1e-6,
+            transfer_uj=transfer_events * self.device.transfer_energy_pj * 1e-6,
+        )
+
+    def energy_of(self, counter: CycleCounter) -> EnergyBreakdown:
+        """Energy for everything a :class:`CycleCounter` has metered."""
+        return self.energy_from_events(counter.row_events, counter.transfers)

@@ -1,0 +1,107 @@
+"""Fault injection: stuck-at cells and transient bit flips.
+
+The paper's robustness argument is statistical (noise margins survive 10%
+process variation).  This module asks the complementary question: what if
+a cell *does* fail?  It injects stuck-at-0/1 and transient-flip faults
+into a block's stored operands and measures the arithmetic blast radius -
+useful both as a test that the simulator really computes through its
+stored bits (a fake model would shrug off corrupted state) and as the
+starting point for ECC-style mitigations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from .alu import BitSliceAlu, from_bits, to_bits
+from .reduction_programs import ReductionKit
+
+__all__ = ["FaultKind", "Fault", "FaultyVectorUnit", "fault_sensitivity_sweep"]
+
+
+class FaultKind(Enum):
+    STUCK_AT_0 = "stuck-at-0"
+    STUCK_AT_1 = "stuck-at-1"
+    FLIP = "flip"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One faulty cell: a (row, bit) position inside an operand field."""
+
+    row: int
+    bit: int  # 0 = MSB (the paper stores MSB-first)
+    kind: FaultKind
+
+
+class FaultyVectorUnit:
+    """A vector modular-multiply unit whose *operand storage* carries faults.
+
+    Mirrors the healthy path (multiply + Montgomery program through the
+    gate-level ALU) but applies the configured faults to the stored ``a``
+    operand bits before computing - exactly what a bad cell would do.
+    """
+
+    def __init__(self, q: int, bitwidth: int, faults: Optional[List[Fault]] = None):
+        self.q = q
+        self.bitwidth = bitwidth
+        self.faults = list(faults or [])
+        self.kit = ReductionKit.for_modulus(q)
+
+    def _corrupt(self, bits: np.ndarray) -> np.ndarray:
+        bits = bits.copy()
+        for fault in self.faults:
+            if not (0 <= fault.row < bits.shape[0]
+                    and 0 <= fault.bit < bits.shape[1]):
+                raise IndexError(f"fault outside the operand field: {fault}")
+            if fault.kind is FaultKind.STUCK_AT_0:
+                bits[fault.row, fault.bit] = False
+            elif fault.kind is FaultKind.STUCK_AT_1:
+                bits[fault.row, fault.bit] = True
+            else:
+                bits[fault.row, fault.bit] ^= True
+        return bits
+
+    def mul_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """REDC(a * b) with the faults applied to the stored ``a`` bits.
+
+        A corrupted operand can exceed ``q`` (an MSB stuck high makes the
+        stored value arbitrary within the field width), so the product can
+        overflow the reduction unit's specified input range; the hardware
+        would still deterministically reduce whatever lands on its columns,
+        which we model as the REDC of the product modulo ``R * q``.
+        """
+        a = np.asarray(a, dtype=np.uint64) % self.q
+        b = np.asarray(b, dtype=np.uint64) % self.q
+        alu = BitSliceAlu()
+        a_bits = self._corrupt(to_bits(a, self.bitwidth))
+        product = from_bits(alu.mul(a_bits, to_bits(b, self.bitwidth)))
+        reducer = self.kit.montgomery_reducer()
+        wrap = reducer.R * self.q
+        return np.asarray(
+            [reducer.redc(int(p) % wrap) for p in product], dtype=np.uint64)
+
+    def error_rows(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row indices whose result differs from the healthy computation."""
+        healthy = FaultyVectorUnit(self.q, self.bitwidth, []).mul_mod(a, b)
+        faulty = self.mul_mod(a, b)
+        return np.nonzero(healthy != faulty)[0]
+
+
+def fault_sensitivity_sweep(q: int, bitwidth: int, rows: int = 64,
+                            seed: int = 0) -> dict:
+    """Flip each bit position (in row 0) once; report how often the result
+    changes.  MSB faults always matter; some LSB faults can be masked by
+    the modular reduction."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, q, rows).astype(np.uint64)
+    b = rng.integers(0, q, rows).astype(np.uint64)
+    outcome = {}
+    for bit in range(bitwidth):
+        unit = FaultyVectorUnit(q, bitwidth, [Fault(0, bit, FaultKind.FLIP)])
+        outcome[bit] = len(unit.error_rows(a, b)) > 0
+    return outcome

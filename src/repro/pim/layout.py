@@ -1,0 +1,75 @@
+"""Column-budget planning for one memory block (Section III-B.1).
+
+The paper asserts a 512x512 block suffices for one pipeline stage at both
+datapath widths but never shows the column arithmetic.  This module plans
+the actual layout - data columns, partner copy, per-row constants,
+multiplier partial-product accumulator, reduction temporaries - and checks
+it against the block's 512 bitlines, for the paper's widths and for the
+generalised ones (24-bit Dilithium, RNS channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .reduction_programs import ReductionKit
+
+__all__ = ["ColumnBudget", "plan_butterfly_layout", "fits_block"]
+
+BLOCK_COLUMNS = 512
+
+
+@dataclass(frozen=True)
+class ColumnBudget:
+    """Column allocation of one butterfly stage block."""
+
+    bitwidth: int
+    q: int
+    fields: Tuple[Tuple[str, int], ...]
+
+    @property
+    def total(self) -> int:
+        return sum(width for _, width in self.fields)
+
+    @property
+    def free(self) -> int:
+        return BLOCK_COLUMNS - self.total
+
+    def breakdown(self) -> str:
+        lines = [f"column budget (N={self.bitwidth}, q={self.q}):"]
+        for name, width in self.fields:
+            lines.append(f"  {name:24s} {width:4d}")
+        lines.append(f"  {'TOTAL':24s} {self.total:4d} / {BLOCK_COLUMNS}")
+        return "\n".join(lines)
+
+
+def plan_butterfly_layout(q: int, bitwidth: int) -> ColumnBudget:
+    """Columns one GS-stage block needs per row.
+
+    Per row: the element's own value, the partner copy delivered by the
+    switch, the stored twiddle constant, the full-width product
+    accumulator, the widest shift-add reduction intermediate, and one
+    carry/flag column.
+    """
+    kit = ReductionKit.for_modulus(q)
+    reduction_width = max(
+        max(kit.barrett.op_widths(), default=1),
+        max(kit.montgomery.op_widths(), default=1),
+    )
+    fields: List[Tuple[str, int]] = [
+        ("own value", bitwidth),
+        ("partner copy", bitwidth),
+        ("twiddle constant", bitwidth),
+        ("biased difference", bitwidth),
+        ("product accumulator", 2 * bitwidth),
+        ("reduction scratch", reduction_width),
+        ("reduction scratch 2", reduction_width),
+        ("carry / flag", 1),
+    ]
+    return ColumnBudget(bitwidth=bitwidth, q=q, fields=tuple(fields))
+
+
+def fits_block(q: int, bitwidth: int) -> bool:
+    """Does the stage layout fit one 512-column block?"""
+    return plan_butterfly_layout(q, bitwidth).total <= BLOCK_COLUMNS

@@ -1,0 +1,177 @@
+"""In-memory bitwise logic primitives and the CryptoPIM cost model.
+
+CryptoPIM builds its arithmetic from single-cycle in-memory bitwise
+operations in the style of MAGIC [9] / FELIX [10]: applying an execution
+voltage across rows of a ReRAM crossbar evaluates a logic function of the
+selected input columns directly into an output column, for *every row in
+parallel*.
+
+The paper publishes closed-form cycle counts for the vector-wide operations
+(Section III-B.2); these are the ground truth this module encodes:
+
+====================  =======================  =========================
+operation             CryptoPIM (this work)    prior-art PIM [35]
+====================  =======================  =========================
+N-bit addition        ``6N + 1``               ``6N + 1`` (same, [10])
+N-bit subtraction     ``7N + 1``               ``7N + 1``
+N-bit multiplication  ``6.5N^2 - 11.5N + 3``   ``13N^2 - 14N + 6``
+switch transfer       ``3 * N``                n/a
+====================  =======================  =========================
+
+The adder decomposition below (two 2-cycle XORs + 1-cycle minority + 1-cycle
+inversion per bit, one initialisation cycle) reproduces ``6N + 1`` exactly;
+subtraction adds one inversion per bit for the two's complement
+(``7N + 1``).  The gate functions themselves operate on numpy boolean
+arrays so the same schedule runs row-parallel over a whole crossbar block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "GATE_CYCLES",
+    "gate_fn",
+    "add_cycles",
+    "sub_cycles",
+    "mul_cycles_cryptopim",
+    "mul_cycles_baseline35",
+    "transfer_cycles",
+    "CycleCounter",
+]
+
+
+class Gate(Enum):
+    """Single in-memory logic operations and their FELIX-style cycle costs."""
+
+    NOT = "not"
+    NOR2 = "nor2"
+    OR2 = "or2"
+    NAND2 = "nand2"
+    AND2 = "and2"
+    XOR2 = "xor2"
+    MIN3 = "min3"  # 3-input minority = NOT(majority)
+    COPY = "copy"
+
+
+#: cycles per gate evaluation (FELIX [10]: NOR/OR/NAND/minority single-cycle,
+#: XOR two-cycle, AND = NAND + NOT)
+GATE_CYCLES: Dict[Gate, int] = {
+    Gate.NOT: 1,
+    Gate.NOR2: 1,
+    Gate.OR2: 1,
+    Gate.NAND2: 1,
+    Gate.AND2: 2,
+    Gate.XOR2: 2,
+    Gate.MIN3: 1,
+    Gate.COPY: 1,
+}
+
+_GATE_FN: Dict[Gate, Callable[..., np.ndarray]] = {
+    Gate.NOT: lambda a: ~a,
+    Gate.NOR2: lambda a, b: ~(a | b),
+    Gate.OR2: lambda a, b: a | b,
+    Gate.NAND2: lambda a, b: ~(a & b),
+    Gate.AND2: lambda a, b: a & b,
+    Gate.XOR2: lambda a, b: a ^ b,
+    Gate.MIN3: lambda a, b, c: ~((a & b) | (a & c) | (b & c)),
+    Gate.COPY: lambda a: a.copy(),
+}
+
+
+def gate_fn(gate: Gate) -> Callable[..., np.ndarray]:
+    """The boolean function a gate evaluates (row-parallel on bool arrays)."""
+    return _GATE_FN[gate]
+
+
+# ---------------------------------------------------------------------------
+# Closed-form cycle costs (the paper's published formulas)
+# ---------------------------------------------------------------------------
+
+def add_cycles(bitwidth: int) -> int:
+    """N-bit in-memory addition: ``6N + 1`` cycles [10]."""
+    _check_width(bitwidth)
+    return 6 * bitwidth + 1
+
+
+def sub_cycles(bitwidth: int) -> int:
+    """N-bit in-memory subtraction: ``7N + 1`` cycles (2's complement)."""
+    _check_width(bitwidth)
+    return 7 * bitwidth + 1
+
+
+def mul_cycles_cryptopim(bitwidth: int) -> int:
+    """CryptoPIM N-bit multiplication: ``6.5N^2 - 11.5N + 3`` cycles.
+
+    The paper obtains this by combining the partial-product algorithm of
+    [35] with FELIX low-latency bitwise operations; the formula is exact
+    for even N (all widths CryptoPIM uses are 16 or 32).
+    """
+    _check_width(bitwidth)
+    cycles = 6.5 * bitwidth * bitwidth - 11.5 * bitwidth + 3
+    return int(round(cycles))
+
+
+def mul_cycles_baseline35(bitwidth: int) -> int:
+    """Prior-art PIM multiplication [35]: ``13N^2 - 14N + 6`` cycles."""
+    _check_width(bitwidth)
+    return 13 * bitwidth * bitwidth - 14 * bitwidth + 6
+
+
+def transfer_cycles(bitwidth: int) -> int:
+    """Fixed-function switch block-to-block transfer: ``3N`` cycles.
+
+    One column-parallel pass each for the A->A, A->A+s and A->A-s
+    connection types (Section III-C).
+    """
+    _check_width(bitwidth)
+    return 3 * bitwidth
+
+
+def _check_width(bitwidth: int) -> None:
+    if bitwidth < 1:
+        raise ValueError(f"bit-width must be >= 1, got {bitwidth}")
+
+
+# ---------------------------------------------------------------------------
+# Cycle / energy metering
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CycleCounter:
+    """Accumulates cycles and row-parallel gate events.
+
+    ``cycles`` advance once per vector-wide operation regardless of how many
+    rows execute it (that is the whole point of PIM); ``row_events``
+    additionally multiplies by the number of active rows and is what the
+    energy model integrates.
+    """
+
+    cycles: int = 0
+    row_events: int = 0
+    transfers: int = 0
+
+    def charge(self, cycles: int, active_rows: int = 1) -> None:
+        if cycles < 0 or active_rows < 0:
+            raise ValueError("cycle/row charges must be non-negative")
+        self.cycles += cycles
+        self.row_events += cycles * active_rows
+
+    def charge_transfer(self, cycles: int, active_rows: int = 1) -> None:
+        self.charge(cycles, active_rows)
+        self.transfers += cycles * active_rows
+
+    def merge(self, other: "CycleCounter") -> None:
+        self.cycles += other.cycles
+        self.row_events += other.row_events
+        self.transfers += other.transfers
+
+    def reset(self) -> None:
+        self.cycles = 0
+        self.row_events = 0
+        self.transfers = 0

@@ -1,0 +1,134 @@
+"""Peephole optimisation passes for shift-add reduction programs.
+
+The generators in :mod:`repro.pim.reduction_programs` emit clean programs,
+but hand-written or machine-composed programs (and future generators) can
+carry slack.  This module provides classic compiler passes over the IR:
+
+* **dead-code elimination** - drop ops whose results never reach ``out``;
+* **load-chain folding** - collapse ``load(load(x, a), b)`` into
+  ``load(x, a+b)`` (shifts are free but the register pressure is not);
+* **shift sinking** - ``add(dst, s1, load(x, k))`` becomes
+  ``add(dst, s1, x, shift=k)`` using the add's built-in operand shift.
+
+Every pass preserves semantics; :func:`optimise` verifies the result
+against the original on boundary inputs before returning it, so a buggy
+pass can never silently ship a wrong program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .shiftadd import INPUT, Op, ShiftAddProgram
+
+__all__ = ["eliminate_dead_code", "fold_load_chains", "sink_shifts",
+           "optimise"]
+
+
+def _rebuild(program: ShiftAddProgram, ops: List[Op]) -> ShiftAddProgram:
+    return ShiftAddProgram(q=program.q, input_bound=program.input_bound,
+                           ops=ops, name=program.name, meta=dict(program.meta))
+
+
+def eliminate_dead_code(program: ShiftAddProgram,
+                        result: str = "out") -> ShiftAddProgram:
+    """Remove ops that cannot influence the ``result`` register.
+
+    Walks backwards from the last write to ``result``; anything writing a
+    register that is never subsequently read (before being overwritten) is
+    dropped.
+    """
+    live: Set[str] = {result}
+    kept_reversed: List[Op] = []
+    for op in reversed(program.ops):
+        if op.dst in live:
+            kept_reversed.append(op)
+            live.discard(op.dst)
+            live.add(op.src1)
+            if op.src2 is not None:
+                live.add(op.src2)
+            if op.src3 is not None:
+                live.add(op.src3)
+    return _rebuild(program, list(reversed(kept_reversed)))
+
+
+def fold_load_chains(program: ShiftAddProgram) -> ShiftAddProgram:
+    """Collapse chains of pure shifts into single loads.
+
+    A ``load`` whose source was itself produced by a (single-use) ``load``
+    combines the shifts.  Only forward-safe when the intermediate is not
+    read elsewhere - tracked conservatively.
+    """
+    uses: Dict[str, int] = {}
+    for op in program.ops:
+        for src in (op.src1, op.src2, op.src3):
+            if src is not None:
+                uses[src] = uses.get(src, 0) + 1
+    producers: Dict[str, Op] = {}
+    new_ops: List[Op] = []
+    for op in program.ops:
+        if (op.kind == "load" and op.src1 in producers
+                and producers[op.src1].kind == "load"
+                and uses.get(op.src1, 0) == 1):
+            parent = producers[op.src1]
+            op = Op("load", op.dst, parent.src1,
+                    shift=op.shift + parent.shift)
+            new_ops.remove(parent)
+        producers[op.dst] = op
+        new_ops.append(op)
+    return _rebuild(program, new_ops)
+
+
+def sink_shifts(program: ShiftAddProgram) -> ShiftAddProgram:
+    """Fuse a single-use ``load(x, k)`` feeding an add/sub second operand
+    into that op's built-in shift (saving the temporary register)."""
+    uses: Dict[str, int] = {}
+    for op in program.ops:
+        for src in (op.src1, op.src2, op.src3):
+            if src is not None:
+                uses[src] = uses.get(src, 0) + 1
+    producers: Dict[str, Op] = {}
+    new_ops: List[Op] = []
+    for op in program.ops:
+        if (op.kind in ("add", "sub", "addc") and op.src2 in producers
+                and producers[op.src2].kind == "load"
+                and uses.get(op.src2, 0) == 1):
+            parent = producers[op.src2]
+            if parent in new_ops:
+                new_ops.remove(parent)
+                op = Op(op.kind, op.dst, op.src1, parent.src1,
+                        shift=op.shift + parent.shift, src3=op.src3)
+        producers[op.dst] = op
+        new_ops.append(op)
+    return _rebuild(program, new_ops)
+
+
+def optimise(program: ShiftAddProgram, result: str = "out",
+             check_points: Optional[List[int]] = None) -> ShiftAddProgram:
+    """Run all passes to a fixed point and verify semantic equivalence.
+
+    Args:
+        program: the program to optimise (not modified).
+        result: the output register.
+        check_points: inputs used for the equivalence check; defaults to
+            the boundary set {0, 1, bound//2, bound-1, bound}.
+    """
+    optimised = program
+    for _ in range(8):  # passes reach a fixed point quickly
+        before = len(optimised.ops)
+        optimised = eliminate_dead_code(optimised, result)
+        optimised = fold_load_chains(optimised)
+        optimised = sink_shifts(optimised)
+        optimised = eliminate_dead_code(optimised, result)
+        if len(optimised.ops) == before:
+            break
+    points = check_points if check_points is not None else sorted({
+        0, 1, program.input_bound // 2,
+        max(program.input_bound - 1, 0), program.input_bound,
+    })
+    for a in points:
+        if optimised.run(a, result=result) != program.run(a, result=result):
+            raise AssertionError(
+                f"optimiser changed semantics at input {a} - refusing result"
+            )
+    return optimised

@@ -1,0 +1,329 @@
+"""Shift-and-add program IR for in-memory modulo reduction.
+
+Algorithm 3 of the paper replaces the multiplications inside Barrett and
+Montgomery reduction with sequences of shifts and additions/subtractions.
+In CryptoPIM a shift is *free* - bit-level column access means shifting is
+just selecting different columns - and a mask is free for the same reason,
+so the cost of a reduction is exactly the cost of its adds and subs.
+
+The paper's second optimisation is width awareness: "we perform only the
+necessary bit-wise computations" (e.g. computing only the 17 LSBs of an
+intermediate that is about to be masked).  We reproduce this with interval
+tracking: every IR register carries the maximum value it can hold, each
+add/sub is charged at the width its operands actually need, and a program
+can be re-costed with ``width_optimised=False`` to model the naive
+full-width variant (that is the BP-3 baseline of Figure 6).
+
+Programs are *exact*: an executor evaluates them on Python ints or numpy
+vectors and the tests check them against ``%`` over the full input range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .logic import add_cycles, sub_cycles
+
+__all__ = ["Op", "ShiftAddProgram", "ProgramCost"]
+
+Value = Union[int, np.ndarray]
+
+#: IR register holding the program input
+INPUT = "a"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One IR instruction.
+
+    kinds:
+      ``add``   dst = src1 + (src2 << shift)      costed
+      ``addc``  dst = src1 + (src2 << shift) + src3   costed as ONE add: the
+                one-bit ``src3`` is injected through the adder's carry preset
+      ``sub``   dst = src1 - (src2 << shift)      costed (must not go negative)
+      ``load``  dst = src1 << shift               free (column selection)
+      ``rshift`` dst = src1 >> shift              free (column selection)
+      ``mask``  dst = src1 & ((1 << shift) - 1)   free (column selection)
+      ``nzbit`` dst = 1 if (src1 & mask(shift)) else 0   one cycle (a single
+                multi-input in-memory OR over the masked columns)
+      ``csubq`` dst = src1 - q if src1 >= q else src1   costed as one sub
+    """
+
+    kind: str
+    dst: str
+    src1: str
+    src2: Optional[str] = None
+    shift: int = 0
+    src3: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        valid = {"add", "addc", "sub", "load", "rshift", "mask", "nzbit", "csubq"}
+        if self.kind not in valid:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind in ("add", "addc", "sub") and self.src2 is None:
+            raise ValueError(f"{self.kind} needs two sources")
+        if self.kind == "addc" and self.src3 is None:
+            raise ValueError("addc needs a carry source")
+        if self.shift < 0:
+            raise ValueError("shifts must be non-negative")
+
+
+@dataclass
+class ProgramCost:
+    """Cycle cost breakdown of one reduction program."""
+
+    cycles: int = 0
+    adds: int = 0
+    subs: int = 0
+    free_ops: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.cycles} cycles ({self.adds} adds, {self.subs} subs, "
+                f"{self.free_ops} free shift/mask ops)")
+
+
+@dataclass
+class ShiftAddProgram:
+    """A straight-line shift-add reduction program for modulus ``q``.
+
+    Attributes:
+        q: the modulus the program reduces by.
+        input_bound: maximum input value the program is specified for
+            (inclusive); the width analysis and the correction-step count
+            are derived from it.
+        ops: instruction list.
+        name: label used in reports ("barrett-12289" etc.).
+    """
+
+    q: int
+    input_bound: int
+    ops: List[Op] = field(default_factory=list)
+    name: str = "reduction"
+    #: free-form parameters of the generator (e.g. Barrett k, Montgomery
+    #: r_bits) - consumers that must agree on R read them from here
+    meta: Dict[str, int] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------------
+
+    def add(self, dst: str, src1: str, src2: str, shift: int = 0) -> "ShiftAddProgram":
+        self.ops.append(Op("add", dst, src1, src2, shift))
+        return self
+
+    def addc(self, dst: str, src1: str, src2: str, carry: str,
+             shift: int = 0) -> "ShiftAddProgram":
+        self.ops.append(Op("addc", dst, src1, src2, shift, src3=carry))
+        return self
+
+    def nzbit(self, dst: str, src: str, bits: int) -> "ShiftAddProgram":
+        self.ops.append(Op("nzbit", dst, src, shift=bits))
+        return self
+
+    def sub(self, dst: str, src1: str, src2: str, shift: int = 0) -> "ShiftAddProgram":
+        self.ops.append(Op("sub", dst, src1, src2, shift))
+        return self
+
+    def load(self, dst: str, src: str, shift: int = 0) -> "ShiftAddProgram":
+        self.ops.append(Op("load", dst, src, shift=shift))
+        return self
+
+    def rshift(self, dst: str, src: str, shift: int) -> "ShiftAddProgram":
+        self.ops.append(Op("rshift", dst, src, shift=shift))
+        return self
+
+    def mask(self, dst: str, src: str, bits: int) -> "ShiftAddProgram":
+        self.ops.append(Op("mask", dst, src, shift=bits))
+        return self
+
+    def csubq(self, dst: str, src: str) -> "ShiftAddProgram":
+        self.ops.append(Op("csubq", dst, src))
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, a: Value, result: str = "out") -> Value:
+        """Execute on an int or numpy vector; returns register ``result``.
+
+        Raises if the input exceeds ``input_bound`` or any subtraction would
+        go negative (which would indicate a mis-derived program, since the
+        hardware works on unsigned columns).
+        """
+        is_array = isinstance(a, np.ndarray)
+        if is_array:
+            a = a.astype(object)  # exact big-int semantics, still vectorised
+            if (a > self.input_bound).any() or (a < 0).any():
+                raise ValueError(f"input outside [0, {self.input_bound}]")
+        elif not 0 <= a <= self.input_bound:
+            raise ValueError(f"input {a} outside [0, {self.input_bound}]")
+        regs: Dict[str, Value] = {INPUT: a}
+        for op in self.ops:
+            regs[op.dst] = self._eval(op, regs, is_array)
+        if result not in regs:
+            raise KeyError(f"program never wrote register {result!r}")
+        out = regs[result]
+        return out.astype(np.uint64) if is_array else out
+
+    def _eval(self, op: Op, regs: Dict[str, Value], is_array: bool) -> Value:
+        s1 = regs[op.src1]
+        if op.kind == "add":
+            return s1 + (regs[op.src2] << op.shift)
+        if op.kind == "addc":
+            return s1 + (regs[op.src2] << op.shift) + regs[op.src3]
+        if op.kind == "nzbit":
+            masked = s1 & ((1 << op.shift) - 1)
+            if is_array:
+                return (masked != 0).astype(object) * 1
+            return 1 if masked else 0
+        if op.kind == "sub":
+            diff = s1 - (regs[op.src2] << op.shift)
+            negative = (diff < 0).any() if is_array else diff < 0
+            if negative:
+                raise ArithmeticError(
+                    f"{self.name}: subtraction underflow in {op} - program invalid"
+                )
+            return diff
+        if op.kind == "load":
+            return s1 << op.shift
+        if op.kind == "rshift":
+            return s1 >> op.shift
+        if op.kind == "mask":
+            mask = (1 << op.shift) - 1
+            return s1 & mask
+        if op.kind == "csubq":
+            if is_array:
+                return np.where(s1 >= self.q, s1 - self.q, s1)
+            return s1 - self.q if s1 >= self.q else s1
+        raise AssertionError(op.kind)  # pragma: no cover
+
+    # -- cost model ----------------------------------------------------------------
+
+    def cost(self, width_optimised: bool = True,
+             full_width: Optional[int] = None) -> ProgramCost:
+        """Cycle cost of the program.
+
+        Args:
+            width_optimised: if True (CryptoPIM), every add/sub is charged at
+                the bit-width it actually requires.  That width combines a
+                *forward* interval analysis (how large can the operands get)
+                with a *backward* demand analysis (how many LSBs do
+                downstream consumers actually read - e.g. an intermediate
+                that is about to be masked to 18 bits is only ever computed
+                18 bits wide, the paper's "we compute only 17 LSBs of u"
+                optimisation).  If False (the BP-3 baseline of Figure 6),
+                every costed op runs at ``full_width`` bits.
+            full_width: datapath width for the non-optimised variant;
+                defaults to the width of the largest intermediate.
+        """
+        widths = self.op_widths()
+        if full_width is None:
+            full_width = max(widths) if widths else 1
+        cost = ProgramCost()
+        for op, width in zip(self.ops, widths):
+            if op.kind in ("add", "addc", "sub", "csubq"):
+                width = max(width if width_optimised else full_width, 1)
+                if op.kind in ("add", "addc"):
+                    cost.cycles += add_cycles(width)
+                    cost.adds += 1
+                else:
+                    cost.cycles += sub_cycles(width)
+                    cost.subs += 1
+            elif op.kind == "nzbit":
+                cost.cycles += 1  # one multi-input in-memory OR
+                cost.free_ops += 1
+            else:
+                cost.free_ops += 1
+        return cost
+
+    def _bounds(self) -> Dict[str, int]:
+        """Forward interval analysis: max value of each register."""
+        bounds: Dict[str, int] = {INPUT: self.input_bound}
+        for op in self.ops:
+            bounds[op.dst] = self._bound_of(op, bounds)
+        return bounds
+
+    def _demanded_bits(self, forward_widths: List[int]) -> List[int]:
+        """Backward demand analysis: LSB count each op must actually produce.
+
+        Addition/subtraction carries propagate strictly low-to-high, so an
+        op whose every consumer reads only ``w`` low bits (because of a
+        later ``mask``) need only be computed ``w`` bits wide.
+        """
+        unbounded = 1 << 30
+        demand: Dict[str, int] = {}
+        out: List[int] = [0] * len(self.ops)
+        for i in range(len(self.ops) - 1, -1, -1):
+            op = self.ops[i]
+            d = demand.pop(op.dst, unbounded)
+            # A register that is never consumed downstream is a program
+            # output: demand its full forward width.
+            if d == unbounded:
+                d = forward_widths[i]
+            out[i] = d
+            if op.kind == "mask":
+                need = min(d, op.shift)
+                demand[op.src1] = max(demand.get(op.src1, 0), need)
+            elif op.kind == "rshift":
+                demand[op.src1] = max(demand.get(op.src1, 0), d + op.shift)
+            elif op.kind == "load":
+                demand[op.src1] = max(demand.get(op.src1, 0), max(d - op.shift, 0))
+            elif op.kind in ("add", "addc", "sub"):
+                demand[op.src1] = max(demand.get(op.src1, 0), d)
+                if op.src2 is not None:
+                    demand[op.src2] = max(demand.get(op.src2, 0),
+                                          max(d - op.shift, 0))
+                if op.src3 is not None:
+                    demand[op.src3] = max(demand.get(op.src3, 0), 1)
+            elif op.kind == "nzbit":
+                demand[op.src1] = max(demand.get(op.src1, 0), op.shift)
+            elif op.kind == "csubq":
+                # comparison against q needs the full forward width
+                demand[op.src1] = max(demand.get(op.src1, 0), forward_widths[i])
+        return out
+
+    def op_widths(self) -> List[int]:
+        """Costed bit-width of each op: min(forward bound, backward demand).
+
+        Public because the bit-level executor
+        (:func:`repro.pim.block.execute_program_bitlevel`) runs each op at
+        exactly this width so metered cycles equal :meth:`cost`.
+        """
+        bounds: Dict[str, int] = {INPUT: self.input_bound}
+        forward: List[int] = []
+        for op in self.ops:
+            value = self._bound_of(op, bounds)
+            bounds[op.dst] = value
+            if op.kind in ("add", "addc", "sub", "csubq"):
+                srcs = [bounds.get(op.src1, 0)]
+                if op.src2:
+                    srcs.append(bounds[op.src2] << op.shift)
+                forward.append(max([value] + srcs).bit_length())
+            else:
+                forward.append(value.bit_length())
+        demanded = self._demanded_bits(forward)
+        return [min(f, d) for f, d in zip(forward, demanded)]
+
+    @staticmethod
+    def _bound_of(op: Op, bounds: Dict[str, int]) -> int:
+        s1 = bounds[op.src1]
+        if op.kind == "add":
+            return s1 + (bounds[op.src2] << op.shift)
+        if op.kind == "addc":
+            return s1 + (bounds[op.src2] << op.shift) + bounds[op.src3]
+        if op.kind == "nzbit":
+            return 1 if s1 else 0
+        if op.kind == "sub":
+            return s1  # result never exceeds the minuend
+        if op.kind == "load":
+            return s1 << op.shift
+        if op.kind == "rshift":
+            return s1 >> op.shift
+        if op.kind == "mask":
+            return min(s1, (1 << op.shift) - 1)
+        if op.kind == "csubq":
+            return s1
+        raise AssertionError(op.kind)  # pragma: no cover
+
+    def __len__(self) -> int:
+        return len(self.ops)

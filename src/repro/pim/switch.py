@@ -1,0 +1,139 @@
+"""Fixed-function inter-block switches (Section III-C, Figure 3).
+
+A CryptoPIM switch connects the rows of one memory block to the rows of the
+next.  Unlike a crossbar switch it supports exactly three connection types
+per row - ``A -> A``, ``A -> A+s`` and ``A -> A-s`` - with the stride ``s``
+hard-wired per switch instance (three logic switches per row, independent
+of the number of inputs/outputs).
+
+Transferring data therefore takes one column-parallel pass per connection
+type: ``3 * bitwidth`` cycles to move an entire vector between blocks.
+
+The Gentleman-Sande stage with butterfly distance ``d`` is served by a
+switch with ``s = d``: row ``j`` keeps its own value (A->A), receives its
+partner from row ``j+d`` (A -> A-s), and sends its value to row ``j+d``
+(A -> A+s).  :meth:`FixedFunctionSwitch.route` validates that every
+requested move is one of the three supported offsets, so tests can prove
+the paper's claim that these minimal switches suffice for every NTT stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from .logic import CycleCounter, transfer_cycles
+
+__all__ = ["FixedFunctionSwitch", "SwitchRouteError"]
+
+
+class SwitchRouteError(ValueError):
+    """A requested row move is not expressible by this fixed-function switch."""
+
+
+class FixedFunctionSwitch:
+    """One fixed-function switch with hard-wired stride ``s``.
+
+    Args:
+        stride: the hard-coded ``s`` (``s = 0`` degenerates to a pure
+            pass-through used between non-butterfly stages).
+        bitwidth: data width of the values being moved (sets transfer cost).
+        rows: number of rows the switch spans.
+    """
+
+    #: logic switches per row - the paper's area argument vs full crossbars
+    SWITCHES_PER_ROW = 3
+
+    def __init__(self, stride: int, bitwidth: int, rows: int = 512):
+        if stride < 0:
+            raise ValueError("stride must be non-negative")
+        if rows < 1:
+            raise ValueError("rows must be positive")
+        self.stride = stride
+        self.bitwidth = bitwidth
+        self.rows = rows
+
+    @property
+    def transfer_cycles(self) -> int:
+        """``3 * bitwidth`` cycles for a full vector move (Section III-C)."""
+        return transfer_cycles(self.bitwidth)
+
+    def allowed_offsets(self) -> Tuple[int, ...]:
+        if self.stride == 0:
+            return (0,)
+        return (0, self.stride, -self.stride)
+
+    def validate_moves(self, moves: Dict[int, Iterable[int]]) -> None:
+        """Check a routing request ``{source_row: destination_rows}``.
+
+        Raises :class:`SwitchRouteError` on any move whose offset is not in
+        ``{0, +s, -s}`` or that leaves the row range.
+        """
+        allowed = set(self.allowed_offsets())
+        for src, dsts in moves.items():
+            if not 0 <= src < self.rows:
+                raise SwitchRouteError(f"source row {src} out of range")
+            for dst in dsts:
+                if not 0 <= dst < self.rows:
+                    raise SwitchRouteError(f"destination row {dst} out of range")
+                if dst - src not in allowed:
+                    raise SwitchRouteError(
+                        f"move {src}->{dst} (offset {dst - src}) not supported "
+                        f"by fixed-function switch with s={self.stride}"
+                    )
+
+    def route_passes(
+        self,
+        values: np.ndarray,
+        counter: Optional[CycleCounter] = None,
+        fill: int = 0,
+    ) -> Dict[int, np.ndarray]:
+        """Run the (up to) three transfer passes on a source-row vector.
+
+        Returns ``{offset: arriving}`` where ``arriving[j]`` is the value
+        delivered to destination row ``j`` by the pass with that offset,
+        i.e. ``values[j - offset]`` (rows with no sender hold ``fill``).
+        The destination block wires each pass into a column field of its
+        choice - that is how a butterfly row ends up holding both its own
+        value (offset 0) and its partner's (offset +/-s).
+
+        Charges ``3 * bitwidth`` transfer cycles, one ``bitwidth``-cycle
+        column-parallel pass per connection type.
+        """
+        values = np.asarray(values)
+        if len(values) != self.rows:
+            raise ValueError(f"expected {self.rows} source rows, got {len(values)}")
+        passes: Dict[int, np.ndarray] = {}
+        for offset in self.allowed_offsets():
+            arriving = np.full(len(values), fill, dtype=values.dtype)
+            if offset == 0:
+                arriving[:] = values
+            elif offset > 0:
+                arriving[offset:] = values[: len(values) - offset]
+            else:
+                arriving[:offset] = values[-offset:]
+            passes[offset] = arriving
+        if counter is not None:
+            counter.charge_transfer(self.transfer_cycles, active_rows=self.rows)
+        return passes
+
+    @staticmethod
+    def butterfly_moves(n_rows: int, distance: int) -> Dict[int, Tuple[int, ...]]:
+        """The routing pattern feeding a GS stage with butterfly distance ``d``.
+
+        Row ``j`` (bit ``d`` clear) and row ``j+d`` exchange copies while
+        both also keep their own value - each element's companion field in
+        the next block receives the partner value.
+        """
+        moves: Dict[int, Tuple[int, ...]] = {}
+        for j in range(n_rows):
+            if j & distance:
+                moves[j] = (j, j - distance)
+            else:
+                moves[j] = (j, j + distance)
+        return moves
+
+    def __repr__(self) -> str:
+        return (f"FixedFunctionSwitch(s={self.stride}, bitwidth={self.bitwidth}, "
+                f"rows={self.rows})")

@@ -1,0 +1,29 @@
+"""Shared fixtures for the CryptoPIM reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.ntt.params import params_for_degree
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG - tests must not flake."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(params=[16, 64, 256])
+def small_params(request):
+    """Small parameter sets where exhaustive/bit-level checks are cheap."""
+    return params_for_degree(request.param)
+
+
+@pytest.fixture(params=[256, 512, 1024, 2048])
+def medium_params(request):
+    return params_for_degree(request.param)
+
+
+@pytest.fixture(params=[7681, 12289, 786433])
+def paper_modulus(request):
+    """The three moduli of Algorithm 3 / Table I."""
+    return request.param

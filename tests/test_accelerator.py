@@ -1,0 +1,99 @@
+"""Tests for the CryptoPIM accelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import CryptoPIM
+from repro.core.config import PipelineVariant
+from repro.ntt.naive import schoolbook_negacyclic
+from repro.ntt.params import params_for_degree
+from repro.ntt.polynomial import Polynomial
+
+
+class TestConstruction:
+    def test_for_degree_defaults(self):
+        acc = CryptoPIM.for_degree(1024)
+        assert acc.n == 1024
+        assert acc.q == 12289
+        assert acc.fidelity == "fast"
+
+    def test_invalid_fidelity(self):
+        with pytest.raises(ValueError):
+            CryptoPIM.for_degree(256, fidelity="magic")
+
+    def test_bit_fidelity_size_limit(self):
+        with pytest.raises(ValueError):
+            CryptoPIM.for_degree(32768, fidelity="bit")
+
+    def test_repr(self):
+        assert "n=256" in repr(CryptoPIM.for_degree(256))
+
+
+class TestMultiply:
+    def test_fast_correctness(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        a = rng.integers(0, acc.q, 256)
+        b = rng.integers(0, acc.q, 256)
+        expected = schoolbook_negacyclic(a.tolist(), b.tolist(), acc.q)
+        assert acc.multiply(a, b).tolist() == expected
+
+    def test_bit_fidelity_agrees_with_fast(self, rng):
+        a = rng.integers(0, 7681, 64)
+        b = rng.integers(0, 7681, 64)
+        fast = CryptoPIM.for_degree(64).multiply(a, b)
+        bit = CryptoPIM.for_degree(64, fidelity="bit").multiply(a, b)
+        assert np.array_equal(fast, bit)
+
+    def test_wrong_shape_rejected(self):
+        acc = CryptoPIM.for_degree(256)
+        with pytest.raises(ValueError):
+            acc.multiply(np.zeros(128, dtype=np.uint64),
+                         np.zeros(256, dtype=np.uint64))
+
+    def test_multiplication_counter(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        a = rng.integers(0, acc.q, 256)
+        assert acc.multiplications == 0
+        acc.multiply(a, a)
+        acc.multiply(a, a)
+        assert acc.multiplications == 2
+
+
+class TestReports:
+    def test_last_report_set_after_multiply(self, rng):
+        acc = CryptoPIM.for_degree(512)
+        assert acc.last_report is None
+        a = rng.integers(0, acc.q, 512)
+        acc.multiply(a, a)
+        assert acc.last_report is not None
+        assert acc.last_report.latency_us == pytest.approx(75.90, rel=1e-3)
+
+    def test_report_without_multiply(self):
+        report = CryptoPIM.for_degree(256).report()
+        assert report.throughput_per_s == pytest.approx(553311, rel=1e-4)
+
+    def test_pipelined_flag_respected(self):
+        acc = CryptoPIM.for_degree(
+            256, variant=PipelineVariant.AREA_EFFICIENT, pipelined=False)
+        report = acc.report()
+        assert not report.pipelined
+        assert report.variant == "area-efficient"
+
+    def test_bank_plan_accessor(self):
+        plan = CryptoPIM.for_degree(32768).bank_plan()
+        assert plan.blocks_per_bank == 49
+
+
+class TestBackendProtocol:
+    def test_polynomial_backend_integration(self, rng):
+        """A CryptoPIM instance plugs into Polynomial as a multiplier."""
+        params = params_for_degree(256)
+        acc = CryptoPIM.for_degree(256)
+        a = Polynomial(rng.integers(0, params.q, 256), params, backend=acc)
+        b = Polynomial(rng.integers(0, params.q, 256), params)
+        product = a * b
+        expected = schoolbook_negacyclic(
+            [int(x) for x in a.coeffs], [int(x) for x in b.coeffs], params.q)
+        assert product.coeffs.tolist() == expected
+        assert acc.multiplications == 1
+        assert acc.last_report is not None

@@ -1,0 +1,121 @@
+"""Tests for the BP-1/2/3, CPU and FPGA comparators."""
+
+import pytest
+
+from repro.baselines.cpu import TABLE2_CPU, CpuModel, measure_software_latency
+from repro.baselines.fpga import TABLE2_FPGA, FpgaModel
+from repro.baselines.pim_baselines import (
+    BASELINE_POLICIES,
+    Bp1Policy,
+    Bp2Policy,
+    Bp3Policy,
+    baseline_models,
+)
+from repro.core.stages import CostPolicy
+from repro.ntt.params import PAPER_DEGREES
+
+
+class TestBaselinePolicies:
+    def test_bp1_uses_slow_multiplier(self):
+        assert Bp1Policy(7681, 16).mul() == 3110
+        assert Bp2Policy(7681, 16).mul() == 1483
+
+    def test_bp1_reductions_cost_multiplications(self):
+        bp1 = Bp1Policy(7681, 16)
+        cpim = CostPolicy(7681, 16)
+        assert bp1.barrett() > 4 * cpim.barrett()
+        assert bp1.montgomery() > 4 * cpim.montgomery()
+
+    def test_bp3_reductions_are_unoptimised_shift_add(self):
+        bp3 = Bp3Policy(7681, 16)
+        cpim = CostPolicy(7681, 16)
+        assert bp3.mul() == cpim.mul()
+        assert bp3.barrett() >= cpim.barrett()
+        assert bp3.montgomery() > cpim.montgomery()
+
+    def test_policy_registry_order(self):
+        assert list(BASELINE_POLICIES) == ["BP-1", "BP-2", "BP-3", "CryptoPIM"]
+
+
+class TestFigure6Ordering:
+    @pytest.mark.parametrize("n", [256, 2048, 32768])
+    def test_strict_latency_ordering(self, n):
+        """Fig. 6: BP-1 > BP-2 > BP-3 > CryptoPIM at every degree."""
+        models = baseline_models(n)
+        lat = {k: m.latency_cycles(False) for k, m in models.items()}
+        assert lat["BP-1"] > lat["BP-2"] > lat["BP-3"] > lat["CryptoPIM"]
+
+    def test_paper_ratio_bands(self):
+        """The prose ratios: ~1.9x, ~5.5x, ~1.2x, ~12.7x (within bands)."""
+        import statistics
+        r12, r23, r3c, r1c = [], [], [], []
+        for n in PAPER_DEGREES:
+            lat = {k: m.latency_cycles(False)
+                   for k, m in baseline_models(n).items()}
+            r12.append(lat["BP-1"] / lat["BP-2"])
+            r23.append(lat["BP-2"] / lat["BP-3"])
+            r3c.append(lat["BP-3"] / lat["CryptoPIM"])
+            r1c.append(lat["BP-1"] / lat["CryptoPIM"])
+        assert 1.5 <= statistics.mean(r12) <= 2.5       # paper: 1.9
+        assert 4.0 <= statistics.mean(r23) <= 9.0       # paper: 5.5
+        assert 1.02 <= statistics.mean(r3c) <= 1.5      # paper: 1.2
+        assert 9.0 <= statistics.mean(r1c) <= 19.0      # paper: 12.7
+
+
+class TestCpuModel:
+    def test_reference_rows_complete(self):
+        assert set(TABLE2_CPU) == set(PAPER_DEGREES)
+
+    def test_fit_quality(self):
+        """The n*log2(n) fit lands within 12% of every reference row."""
+        model = CpuModel()
+        for n, ref in TABLE2_CPU.items():
+            assert model.latency_us(n) == pytest.approx(ref.latency_us, rel=0.12)
+
+    def test_throughput_is_reciprocal_latency(self):
+        model = CpuModel()
+        assert model.throughput_per_s(256) == pytest.approx(
+            1e6 / model.latency_us(256))
+
+    def test_reference_preferred_over_model(self):
+        model = CpuModel()
+        assert model.reference_or_model(256).latency_us == 84.81
+        # unmeasured degree: falls back to the fit
+        extrapolated = model.reference_or_model(65536)
+        assert extrapolated.latency_us > TABLE2_CPU[32768].latency_us
+
+    def test_power_plausible(self):
+        # Table II implies ~6.5-7.5 W average package power
+        assert 5.0 < CpuModel().average_power_w < 9.0
+
+    def test_software_measurement_runs(self):
+        latency = measure_software_latency(256, repeats=1)
+        assert latency > 0
+
+    def test_software_measurement_validates_args(self):
+        with pytest.raises(ValueError):
+            measure_software_latency(256, repeats=0)
+
+
+class TestFpgaModel:
+    def test_reference_rows(self):
+        assert set(TABLE2_FPGA) == {256, 512, 1024}
+
+    def test_fit_quality(self):
+        model = FpgaModel()
+        for n, ref in TABLE2_FPGA.items():
+            assert model.latency_us(n) == pytest.approx(ref.latency_us, rel=0.12)
+
+    def test_has_reference(self):
+        model = FpgaModel()
+        assert model.has_reference(256)
+        assert not model.has_reference(2048)
+
+    def test_extrapolation_monotone(self):
+        model = FpgaModel()
+        lats = [model.latency_us(n) for n in PAPER_DEGREES]
+        assert lats == sorted(lats)
+
+    def test_power_plausible(self):
+        # Table II implies ~0.1 W for the FPGA datapath
+        assert 0.05 < FpgaModel().average_power_w < 0.2

@@ -1,0 +1,68 @@
+"""Unit tests for the bit-reversal permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ntt.bitrev import (
+    bitrev_indices,
+    bitrev_permute,
+    bitrev_permute_array,
+    reverse_bits,
+)
+
+
+class TestReverseBits:
+    def test_examples(self):
+        assert reverse_bits(0b001, 3) == 0b100
+        assert reverse_bits(0b110, 3) == 0b011
+        assert reverse_bits(0, 8) == 0
+        assert reverse_bits(255, 8) == 255
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            reverse_bits(8, 3)
+        with pytest.raises(ValueError):
+            reverse_bits(-1, 3)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_involution(self, v):
+        assert reverse_bits(reverse_bits(v, 16), 16) == v
+
+
+class TestBitrevIndices:
+    def test_known_n8(self):
+        assert bitrev_indices(8) == (0, 4, 2, 6, 1, 5, 3, 7)
+
+    def test_permutation_property(self):
+        for n in (2, 4, 16, 256, 1024):
+            assert sorted(bitrev_indices(n)) == list(range(n))
+
+    def test_involution(self):
+        for n in (4, 64, 512):
+            idx = bitrev_indices(n)
+            assert all(idx[idx[i]] == i for i in range(n))
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            bitrev_indices(bad)
+
+
+class TestPermute:
+    def test_list_and_array_agree(self, rng):
+        values = rng.integers(0, 100, 64)
+        as_list = bitrev_permute(values.tolist())
+        as_array = bitrev_permute_array(values)
+        assert as_list == as_array.tolist()
+
+    def test_double_permute_is_identity(self, rng):
+        values = rng.integers(0, 1000, 128)
+        twice = bitrev_permute_array(bitrev_permute_array(values))
+        assert np.array_equal(twice, values)
+
+    def test_fixed_points(self):
+        # 0 and n-1 are always fixed points
+        out = bitrev_permute(list(range(256)))
+        assert out[0] == 0
+        assert out[255] == 255

@@ -1,0 +1,76 @@
+"""Tests for the controller microcode compiler and issue scheduler."""
+
+import pytest
+
+from repro.core.controller import (
+    compile_multiplication,
+    pipelined_completion_cycles,
+)
+from repro.core.config import PipelineVariant
+from repro.core.pipeline import PipelineModel
+
+
+class TestCompilation:
+    def test_trace_length_equals_np_latency(self):
+        """The compiled sequential trace IS the non-pipelined latency."""
+        for n in (64, 256, 2048):
+            model = PipelineModel.for_degree(n)
+            program = compile_multiplication(model)
+            assert program.total_cycles == model.latency_cycles(False)
+
+    def test_trace_is_contiguous(self):
+        model = PipelineModel.for_degree(64)
+        ops = compile_multiplication(model).ops
+        for prev, cur in zip(ops, ops[1:]):
+            assert cur.start_cycle == prev.end_cycle
+
+    def test_every_block_gets_xfer_write_compute(self):
+        model = PipelineModel.for_degree(64)
+        program = compile_multiplication(model)
+        for block in model.blocks:
+            kinds = [op.kind for op in program.ops_for_block(block.label)]
+            assert kinds[0] == "xfer"
+            assert kinds[1] == "write"
+            assert all(k == "compute" for k in kinds[2:])
+            assert len(kinds) == 2 + len(block.ops)
+
+    def test_area_efficient_variant_compiles(self):
+        model = PipelineModel.for_degree(
+            256, variant=PipelineVariant.AREA_EFFICIENT)
+        program = compile_multiplication(model)
+        assert program.variant == "area-efficient"
+        assert program.total_cycles == model.latency_cycles(False)
+
+    def test_listing_truncation(self):
+        program = compile_multiplication(PipelineModel.for_degree(256))
+        short = program.listing(limit=5)
+        assert "more micro-ops" in short
+        full = program.listing(limit=None)
+        assert "more micro-ops" not in full
+        assert f"total: {program.total_cycles} cycles" in full
+
+
+class TestPipelinedSchedule:
+    def test_first_result_at_pipeline_latency(self):
+        model = PipelineModel.for_degree(256)
+        completions = pipelined_completion_cycles(model, 1)
+        assert completions == [model.latency_cycles(True)]
+
+    def test_steady_state_rate_is_stage_latency(self):
+        model = PipelineModel.for_degree(1024)
+        completions = pipelined_completion_cycles(model, 100)
+        gaps = {b - a for a, b in zip(completions, completions[1:])}
+        assert gaps == {model.stage_cycles}
+
+    def test_throughput_from_schedule_matches_model(self):
+        """Completion-time slope == 1/throughput: closes the loop between
+        the controller view and Table II."""
+        model = PipelineModel.for_degree(512)
+        completions = pipelined_completion_cycles(model, 1000)
+        cycles_per_result = (completions[-1] - completions[0]) / 999
+        measured_tput = 1.0 / model.device.cycles_to_seconds(cycles_per_result)
+        assert measured_tput == pytest.approx(model.throughput_per_s(True))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            pipelined_completion_cycles(PipelineModel.for_degree(256), 0)

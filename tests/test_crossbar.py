@@ -1,0 +1,111 @@
+"""Unit tests for the crossbar storage model."""
+
+import numpy as np
+import pytest
+
+from repro.pim.crossbar import ColumnSpan, Crossbar
+
+
+class TestGeometry:
+    def test_default_paper_size(self):
+        xbar = Crossbar()
+        assert xbar.rows == 512 and xbar.cols == 512
+
+    def test_capacity_formula(self):
+        """Section III-B.1: a block holds (c/N) * r N-bit numbers."""
+        xbar = Crossbar(512, 512)
+        assert xbar.numbers_per_row(16) == 32
+        assert xbar.numbers_per_row(32) == 16
+        assert xbar.capacity(16) == 32 * 512
+        assert xbar.capacity(32) == 16 * 512
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 512)
+
+
+class TestAllocation:
+    def test_spans_do_not_overlap(self):
+        xbar = Crossbar(8, 64)
+        a = xbar.allocate(16)
+        b = xbar.allocate(16)
+        assert a.stop <= b.start
+
+    def test_exhaustion(self):
+        xbar = Crossbar(8, 32)
+        xbar.allocate(32)
+        with pytest.raises(MemoryError):
+            xbar.allocate(1)
+
+    def test_free_all(self):
+        xbar = Crossbar(8, 32)
+        xbar.allocate(32)
+        xbar.free_all()
+        assert xbar.free_columns == 32
+        xbar.allocate(16)  # works again
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            ColumnSpan(-1, 4)
+        with pytest.raises(ValueError):
+            ColumnSpan(0, 0)
+
+
+class TestFieldAccess:
+    def test_write_read_roundtrip(self, rng):
+        xbar = Crossbar(64, 64)
+        span = xbar.allocate(16)
+        values = rng.integers(0, 2**16, 64).astype(np.uint64)
+        xbar.write_field(span, values)
+        assert np.array_equal(xbar.read_field(span), values)
+
+    def test_row_map_permutation(self, rng):
+        """Bit-reversal-at-write: values land in permuted rows for free."""
+        xbar = Crossbar(8, 16)
+        span = xbar.allocate(8)
+        values = np.arange(8, dtype=np.uint64)
+        row_map = [0, 4, 2, 6, 1, 5, 3, 7]
+        xbar.write_field(span, values, row_map)
+        stored = xbar.read_field(span)
+        for i, dest in enumerate(row_map):
+            assert stored[dest] == values[i]
+
+    def test_partial_rows(self):
+        xbar = Crossbar(16, 16)
+        span = xbar.allocate(8)
+        xbar.write_field(span, np.array([7, 9], dtype=np.uint64))
+        assert xbar.read_field(span, rows=[0, 1]).tolist() == [7, 9]
+
+    def test_too_many_values(self):
+        xbar = Crossbar(4, 16)
+        span = xbar.allocate(8)
+        with pytest.raises(MemoryError):
+            xbar.write_field(span, np.arange(5, dtype=np.uint64))
+
+    def test_row_map_out_of_range(self):
+        xbar = Crossbar(4, 16)
+        span = xbar.allocate(8)
+        with pytest.raises(IndexError):
+            xbar.write_field(span, np.array([1], dtype=np.uint64), row_map=[4])
+
+    def test_row_map_length_mismatch(self):
+        xbar = Crossbar(4, 16)
+        span = xbar.allocate(8)
+        with pytest.raises(ValueError):
+            xbar.write_field(span, np.array([1, 2], dtype=np.uint64), row_map=[0])
+
+    def test_bits_view_roundtrip(self, rng):
+        xbar = Crossbar(8, 32)
+        span = xbar.allocate(16)
+        values = rng.integers(0, 2**16, 8).astype(np.uint64)
+        xbar.write_field(span, values)
+        bits = xbar.field_bits(span)
+        xbar.store_bits(span, ~bits)
+        assert np.array_equal(xbar.read_field(span),
+                              (2**16 - 1) - values)
+
+    def test_store_bits_width_check(self):
+        xbar = Crossbar(8, 32)
+        span = xbar.allocate(16)
+        with pytest.raises(ValueError):
+            xbar.store_bits(span, np.zeros((8, 8), dtype=bool))

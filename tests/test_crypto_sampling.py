@@ -1,0 +1,97 @@
+"""Tests for the lattice samplers."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.sampling import (
+    DiscreteGaussianSampler,
+    cbd_poly,
+    gaussian_poly,
+    ternary_poly,
+    uniform_poly,
+)
+from repro.ntt.params import params_for_degree
+
+
+@pytest.fixture
+def params():
+    return params_for_degree(1024)
+
+
+class TestUniform:
+    def test_range(self, params, rng):
+        p = uniform_poly(params, rng)
+        assert (p.coeffs < params.q).all()
+
+    def test_looks_uniform(self, params, rng):
+        # mean of U(0, q) is ~q/2; loose 5% band on 1024 samples
+        p = uniform_poly(params, rng)
+        mean = float(p.coeffs.mean())
+        assert abs(mean - params.q / 2) < 0.05 * params.q
+
+    def test_deterministic_with_seed(self, params):
+        a = uniform_poly(params, np.random.default_rng(1))
+        b = uniform_poly(params, np.random.default_rng(1))
+        assert a == b
+
+
+class TestCbd:
+    def test_support(self, params, rng):
+        for eta in (1, 2, 8):
+            p = cbd_poly(params, rng, eta)
+            assert p.infinity_norm() <= eta
+
+    def test_variance(self, params):
+        """CBD_eta has variance eta/2."""
+        rng = np.random.default_rng(42)
+        samples = np.concatenate([
+            cbd_poly(params, rng, 4).centered_coeffs() for _ in range(20)
+        ])
+        assert np.var(samples) == pytest.approx(2.0, rel=0.15)
+
+    def test_zero_mean(self, params):
+        rng = np.random.default_rng(43)
+        samples = np.concatenate([
+            cbd_poly(params, rng, 2).centered_coeffs() for _ in range(20)
+        ])
+        assert abs(samples.mean()) < 0.1
+
+    def test_invalid_eta(self, params, rng):
+        with pytest.raises(ValueError):
+            cbd_poly(params, rng, 0)
+
+
+class TestTernary:
+    def test_support(self, params, rng):
+        p = ternary_poly(params, rng)
+        assert set(np.unique(p.centered_coeffs())) <= {-1, 0, 1}
+
+    def test_fixed_weight(self, params, rng):
+        p = ternary_poly(params, rng, hamming_weight=64)
+        assert int(np.count_nonzero(p.centered_coeffs())) == 64
+
+    def test_weight_bounds(self, params, rng):
+        with pytest.raises(ValueError):
+            ternary_poly(params, rng, hamming_weight=params.n + 1)
+
+
+class TestGaussian:
+    def test_sampler_moments(self):
+        sampler = DiscreteGaussianSampler(sigma=3.2)
+        rng = np.random.default_rng(7)
+        samples = sampler.sample(50000, rng)
+        assert abs(samples.mean()) < 0.1
+        assert np.std(samples) == pytest.approx(3.2, rel=0.05)
+
+    def test_tail_cut(self):
+        sampler = DiscreteGaussianSampler(sigma=2.0, tail_cut=3.0)
+        rng = np.random.default_rng(8)
+        assert np.abs(sampler.sample(10000, rng)).max() <= 6
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussianSampler(sigma=0)
+
+    def test_gaussian_poly(self, params, rng):
+        p = gaussian_poly(params, rng, sigma=3.2)
+        assert p.infinity_norm() <= int(np.ceil(3.2 * 13))

@@ -1,0 +1,202 @@
+"""Tests for the RLWE, NewHope, Kyber and BGV schemes."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.bgv import BgvScheme
+from repro.crypto.kyber import KyberPke
+from repro.crypto.newhope import KEY_BITS, NewHopeKem
+from repro.crypto.rlwe import RlweScheme
+from repro.ntt.naive import schoolbook_negacyclic
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRlwe:
+    @pytest.mark.parametrize("n", [256, 512, 1024])
+    def test_roundtrip(self, n):
+        scheme = RlweScheme.for_degree(n, rng=_rng(n))
+        pk, sk = scheme.keygen()
+        message = _rng(1).integers(0, 2, n)
+        ct = scheme.encrypt(pk, message)
+        assert np.array_equal(scheme.decrypt(sk, ct), message)
+
+    def test_repeated_roundtrips(self):
+        """No decryption failures across many messages (noise margin)."""
+        scheme = RlweScheme.for_degree(256, rng=_rng(2))
+        pk, sk = scheme.keygen()
+        rng = _rng(3)
+        for _ in range(25):
+            message = rng.integers(0, 2, 256)
+            assert np.array_equal(scheme.decrypt(sk, scheme.encrypt(pk, message)),
+                                  message)
+
+    def test_noise_below_threshold(self):
+        scheme = RlweScheme.for_degree(1024, rng=_rng(4))
+        pk, sk = scheme.keygen()
+        message = _rng(5).integers(0, 2, 1024)
+        ct = scheme.encrypt(pk, message)
+        assert scheme.decryption_noise(sk, ct, message) < scheme.params.q // 4
+
+    def test_wrong_key_garbles(self):
+        scheme = RlweScheme.for_degree(256, rng=_rng(6))
+        pk, _ = scheme.keygen()
+        _, sk2 = scheme.keygen()
+        message = np.ones(256, dtype=np.int64)
+        decrypted = scheme.decrypt(sk2, scheme.encrypt(pk, message))
+        assert not np.array_equal(decrypted, message)
+
+    def test_message_validation(self):
+        scheme = RlweScheme.for_degree(256, rng=_rng(7))
+        pk, _ = scheme.keygen()
+        with pytest.raises(ValueError):
+            scheme.encrypt(pk, np.zeros(128, dtype=np.int64))
+        with pytest.raises(ValueError):
+            scheme.encrypt(pk, np.full(256, 2))
+
+    def test_ciphertexts_randomised(self):
+        scheme = RlweScheme.for_degree(256, rng=_rng(8))
+        pk, _ = scheme.keygen()
+        message = np.zeros(256, dtype=np.int64)
+        c1 = scheme.encrypt(pk, message)
+        c2 = scheme.encrypt(pk, message)
+        assert c1.u != c2.u
+
+
+class TestNewHope:
+    @pytest.mark.parametrize("n", [512, 1024])
+    def test_agreement(self, n):
+        kem = NewHopeKem(n, rng=_rng(n))
+        pk, sk = kem.keygen()
+        ct, key_enc = kem.encapsulate(pk)
+        key_dec = kem.decapsulate(sk, ct)
+        assert np.array_equal(key_enc, key_dec)
+        assert len(key_enc) == KEY_BITS
+
+    def test_repeated_agreement(self):
+        kem = NewHopeKem(512, rng=_rng(10))
+        pk, sk = kem.keygen()
+        for _ in range(10):
+            ct, key_enc = kem.encapsulate(pk)
+            assert np.array_equal(kem.decapsulate(sk, ct), key_enc)
+
+    def test_keys_vary(self):
+        kem = NewHopeKem(512, rng=_rng(11))
+        pk, _ = kem.keygen()
+        _, k1 = kem.encapsulate(pk)
+        _, k2 = kem.encapsulate(pk)
+        assert not np.array_equal(k1, k2)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NewHopeKem(100)
+
+
+class TestKyber:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_roundtrip(self, k):
+        pke = KyberPke(k=k, rng=_rng(20 + k))
+        pk, sk = pke.keygen()
+        message = _rng(30).integers(0, 2, 256)
+        assert np.array_equal(pke.decrypt(sk, pke.encrypt(pk, message)), message)
+
+    def test_multiplication_count(self):
+        assert KyberPke(k=2).multiplications_per_encrypt() == 6
+        assert KyberPke(k=3).multiplications_per_encrypt() == 12
+
+    def test_uses_kyber_ring(self):
+        pke = KyberPke()
+        assert pke.params.n == 256
+        assert pke.params.q == 7681
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            KyberPke(k=0)
+
+    def test_message_validation(self):
+        pke = KyberPke(rng=_rng(31))
+        pk, _ = pke.keygen()
+        with pytest.raises(ValueError):
+            pke.encrypt(pk, np.zeros(128, dtype=np.int64))
+
+
+class TestBgv:
+    def test_roundtrip(self):
+        bgv = BgvScheme(n=2048, rng=_rng(40))
+        sk = bgv.keygen()
+        message = _rng(41).integers(0, bgv.t, 2048)
+        assert np.array_equal(bgv.decrypt(sk, bgv.encrypt(sk, message)), message)
+
+    def test_homomorphic_add(self):
+        bgv = BgvScheme(n=2048, rng=_rng(42))
+        sk = bgv.keygen()
+        rng = _rng(43)
+        m1, m2 = rng.integers(0, 2, 2048), rng.integers(0, 2, 2048)
+        total = bgv.add(bgv.encrypt(sk, m1), bgv.encrypt(sk, m2))
+        assert np.array_equal(bgv.decrypt(sk, total), (m1 + m2) % bgv.t)
+
+    def test_homomorphic_multiply(self):
+        bgv = BgvScheme(n=2048, rng=_rng(44))
+        sk = bgv.keygen()
+        rng = _rng(45)
+        m1, m2 = rng.integers(0, 2, 2048), rng.integers(0, 2, 2048)
+        product = bgv.multiply(bgv.encrypt(sk, m1), bgv.encrypt(sk, m2))
+        assert product.degree == 2
+        expected = np.array(
+            schoolbook_negacyclic(m1.tolist(), m2.tolist(), bgv.t))
+        assert np.array_equal(bgv.decrypt(sk, product), expected)
+
+    def test_relinearization_preserves_plaintext(self):
+        bgv = BgvScheme(n=2048, rng=_rng(46))
+        sk = bgv.keygen()
+        rlk = bgv.relin_keygen(sk)
+        rng = _rng(47)
+        m1, m2 = rng.integers(0, 2, 2048), rng.integers(0, 2, 2048)
+        product = bgv.multiply(bgv.encrypt(sk, m1), bgv.encrypt(sk, m2))
+        relinearised = bgv.relinearize(product, rlk)
+        assert relinearised.degree == 1
+        assert np.array_equal(bgv.decrypt(sk, relinearised),
+                              bgv.decrypt(sk, product))
+
+    def test_noise_bound_dominates_actual(self):
+        """The tracked bound must always upper-bound the measured noise."""
+        bgv = BgvScheme(n=2048, rng=_rng(48))
+        sk = bgv.keygen()
+        rlk = bgv.relin_keygen(sk)
+        rng = _rng(49)
+        m1, m2 = rng.integers(0, 2, 2048), rng.integers(0, 2, 2048)
+        c1, c2 = bgv.encrypt(sk, m1), bgv.encrypt(sk, m2)
+        for ct in (c1, bgv.add(c1, c2), bgv.multiply(c1, c2),
+                   bgv.relinearize(bgv.multiply(c1, c2), rlk)):
+            assert bgv.decryption_noise(sk, ct) <= ct.noise_bound
+
+    def test_noise_budget_decreases(self):
+        bgv = BgvScheme(n=2048, rng=_rng(50))
+        sk = bgv.keygen()
+        m = _rng(51).integers(0, 2, 2048)
+        fresh = bgv.encrypt(sk, m)
+        product = bgv.multiply(fresh, fresh)
+        assert bgv.noise_budget_bits(product) < bgv.noise_budget_bits(fresh)
+        assert bgv.noise_budget_bits(product) > 0  # one level supported
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BgvScheme(n=2048, t=1)
+        with pytest.raises(ValueError):
+            BgvScheme(n=2048, relin_base=1)
+
+    def test_plaintext_shape_validation(self):
+        bgv = BgvScheme(n=2048, rng=_rng(52))
+        sk = bgv.keygen()
+        with pytest.raises(ValueError):
+            bgv.encrypt(sk, np.zeros(100, dtype=np.int64))
+
+    def test_relinearize_requires_degree_two(self):
+        bgv = BgvScheme(n=2048, rng=_rng(53))
+        sk = bgv.keygen()
+        rlk = bgv.relin_keygen(sk)
+        fresh = bgv.encrypt(sk, np.zeros(2048, dtype=np.int64))
+        with pytest.raises(ValueError):
+            bgv.relinearize(fresh, rlk)

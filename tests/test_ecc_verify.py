@@ -1,0 +1,175 @@
+"""Tests for SEC-DED operand protection and Freivalds self-checking."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import CryptoPIM
+from repro.core.verify import (
+    SelfCheckingBackend,
+    VerificationError,
+    evaluate_at,
+    verify_product,
+)
+from repro.ntt.params import params_for_degree
+from repro.ntt.transform import NttEngine
+from repro.pim.ecc import HammingCode, ProtectedField, parity_bits_needed
+
+
+class TestHammingBasics:
+    def test_parity_bits(self):
+        assert parity_bits_needed(16) == 5
+        assert parity_bits_needed(32) == 6
+        assert parity_bits_needed(1) == 2
+        with pytest.raises(ValueError):
+            parity_bits_needed(0)
+
+    def test_codeword_sizes(self):
+        assert HammingCode(16).codeword_bits == 22  # 16 + 5 + overall
+        assert HammingCode(32).codeword_bits == 39
+
+    def test_overhead_columns(self):
+        assert HammingCode(16).overhead_columns == 6
+
+    def test_clean_roundtrip(self, rng):
+        code = HammingCode(16)
+        values = rng.integers(0, 2**16, 128).astype(np.uint64)
+        result = code.decode(code.encode(values))
+        assert np.array_equal(result.data, values)
+        assert len(result.corrected_rows) == 0
+        assert len(result.detected_rows) == 0
+
+    def test_width_mismatch(self):
+        code = HammingCode(16)
+        with pytest.raises(ValueError):
+            code.decode(np.zeros((2, 10), dtype=bool))
+
+
+class TestErrorHandling:
+    @pytest.mark.parametrize("width", [16, 32])
+    def test_every_single_flip_corrected(self, width, rng):
+        """Exhaustive: a flip at ANY codeword position is corrected."""
+        field = ProtectedField(width)
+        values = rng.integers(0, 2**width, 4).astype(np.uint64)
+        for bit in range(field.code.codeword_bits):
+            result = field.survive(values, [(1, bit)])
+            assert np.array_equal(result.data, values), bit
+            assert 1 in result.corrected_rows
+
+    def test_double_flip_detected_not_miscorrected(self, rng):
+        field = ProtectedField(16)
+        values = rng.integers(0, 2**16, 4).astype(np.uint64)
+        result = field.survive(values, [(2, 0), (2, 7)])
+        assert 2 in result.detected_rows
+        assert 2 not in result.corrected_rows
+
+    def test_independent_rows(self, rng):
+        """Faults in one row never touch another row's data."""
+        field = ProtectedField(16)
+        values = rng.integers(0, 2**16, 8).astype(np.uint64)
+        result = field.survive(values, [(3, 5)])
+        others = [r for r in range(8) if r != 3]
+        assert np.array_equal(result.data[others], values[others])
+
+    def test_encode_cycles_reasonable(self):
+        # a few tens of cycles: negligible next to a 1483-cycle multiply
+        assert HammingCode(16).encode_cycles() < 100
+
+
+class TestFreivaldsCheck:
+    def test_evaluate_horner(self):
+        # 3 + 2x + x^2 at x=5 mod 17: 3 + 10 + 25 = 38 = 4
+        assert evaluate_at(np.array([3, 2, 1]), 5, 17) == 4
+
+    def test_true_products_pass(self, rng):
+        p = params_for_degree(256)
+        engine = NttEngine(p)
+        for _ in range(5):
+            a = rng.integers(0, p.q, 256)
+            b = rng.integers(0, p.q, 256)
+            c = engine.multiply(a, b)
+            assert verify_product(a, b, c, p, rng=rng)
+
+    def test_corrupted_products_caught(self, rng):
+        p = params_for_degree(256)
+        engine = NttEngine(p)
+        caught = 0
+        for _ in range(20):
+            a = rng.integers(0, p.q, 256)
+            b = rng.integers(0, p.q, 256)
+            c = engine.multiply(a, b).copy()
+            c[int(rng.integers(0, 256))] ^= np.uint64(1)  # single coefficient flip
+            if not verify_product(a, b, c, p, rng=rng, rounds=2):
+                caught += 1
+        assert caught >= 19  # essentially always
+
+    def test_rounds_validation(self, rng):
+        p = params_for_degree(16)
+        with pytest.raises(ValueError):
+            verify_product(np.zeros(16), np.zeros(16), np.zeros(16), p,
+                           rounds=0)
+
+
+class TestSelfCheckingBackend:
+    def test_wraps_accelerator_transparently(self, rng):
+        p = params_for_degree(256)
+        acc = CryptoPIM.for_degree(256)
+        checked = SelfCheckingBackend(acc, p, rng=rng)
+        a = rng.integers(0, p.q, 256)
+        b = rng.integers(0, p.q, 256)
+        result = checked.multiply(a, b)
+        assert np.array_equal(result, NttEngine(p).multiply(a, b))
+        assert checked.products == checked.checked == 1
+        assert checked.failures == 0
+
+    def test_detects_faulty_backend(self, rng):
+        p = params_for_degree(256)
+
+        class BrokenBackend:
+            def multiply(self, a, b):
+                out = NttEngine(p).multiply(a, b).copy()
+                out[0] = (out[0] + np.uint64(1)) % np.uint64(p.q)
+                return out
+
+        checked = SelfCheckingBackend(BrokenBackend(), p, rng=rng)
+        with pytest.raises(VerificationError):
+            checked.multiply(rng.integers(0, p.q, 256),
+                             rng.integers(0, p.q, 256))
+        assert checked.failures == 1
+
+    def test_counting_mode(self, rng):
+        p = params_for_degree(64)
+
+        class ZeroBackend:
+            def multiply(self, a, b):
+                return np.zeros(64, dtype=np.uint64)
+
+        checked = SelfCheckingBackend(ZeroBackend(), p, rng=rng,
+                                      raise_on_failure=False)
+        checked.multiply(rng.integers(1, p.q, 64), rng.integers(1, p.q, 64))
+        assert checked.failures == 1
+
+    def test_sampling_probability(self, rng):
+        p = params_for_degree(64)
+        engine = NttEngine(p)
+        checked = SelfCheckingBackend(engine, p, check_probability=0.0,
+                                      rng=rng)
+        a = rng.integers(0, p.q, 64)
+        for _ in range(10):
+            checked.multiply(a, a)
+        assert checked.checked == 0
+        with pytest.raises(ValueError):
+            SelfCheckingBackend(engine, p, check_probability=1.5)
+
+    def test_in_crypto_scheme(self, rng):
+        """The wrapper drops into an RLWE scheme unchanged."""
+        from repro.crypto.rlwe import RlweScheme
+        p = params_for_degree(256)
+        backend = SelfCheckingBackend(CryptoPIM.for_degree(256), p,
+                                      rng=np.random.default_rng(0))
+        scheme = RlweScheme(p, backend=backend,
+                            rng=np.random.default_rng(1))
+        pk, sk = scheme.keygen()
+        message = rng.integers(0, 2, 256)
+        assert np.array_equal(scheme.decrypt(sk, scheme.encrypt(pk, message)),
+                              message)
+        assert backend.checked == backend.products == 4

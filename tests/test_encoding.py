@@ -1,0 +1,96 @@
+"""Tests for byte/bit/plaintext encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.encoding import (
+    bits_to_bytes,
+    bytes_to_bits,
+    decode_bytes,
+    encode_bytes,
+    majority_decode,
+    message_capacity_bytes,
+    spread_bits,
+)
+
+
+class TestBitConversion:
+    def test_roundtrip(self):
+        data = b"CryptoPIM"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_empty(self):
+        assert bytes_to_bits(b"").tolist() == []
+        assert bits_to_bytes(np.zeros(0, dtype=np.int64)) == b""
+
+    def test_bit_order(self):
+        # 0x01 -> LSB first
+        assert bytes_to_bits(b"\x01").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.array([1, 0, 1]))
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.array([2] * 8))
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = encode_bytes(b"hello world", 256)
+        assert decode_bytes(message) == b"hello world"
+
+    def test_empty_payload(self):
+        assert decode_bytes(encode_bytes(b"", 64)) == b""
+
+    def test_capacity(self):
+        assert message_capacity_bytes(256) == 32
+        # 16 framing bits leave room for (n-16)/8 payload bytes
+        encode_bytes(b"x" * 30, 256)
+        with pytest.raises(ValueError):
+            encode_bytes(b"x" * 31, 256)
+
+    def test_corrupted_length_detected(self):
+        message = encode_bytes(b"hi", 64)
+        message[:16] = 1  # length prefix now huge
+        with pytest.raises(ValueError):
+            decode_bytes(message)
+
+    @given(st.binary(max_size=100))
+    def test_roundtrip_property(self, data):
+        n = 1024
+        assert decode_bytes(encode_bytes(data, n)) == data
+
+
+class TestSpreading:
+    def test_roundtrip(self):
+        bits = np.array([1, 0, 1, 1])
+        assert majority_decode(spread_bits(bits, 5), 5).tolist() == [1, 0, 1, 1]
+
+    def test_error_tolerance(self):
+        bits = np.array([1, 0])
+        spread = spread_bits(bits, 5)
+        spread[0] = 0  # flip one vote of the first bit
+        spread[7] = 1  # flip one vote of the second
+        assert majority_decode(spread, 5).tolist() == [1, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spread_bits(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            majority_decode(np.array([1, 0, 1]), 2)
+
+
+class TestEndToEndWithRlwe:
+    def test_encrypt_bytes(self):
+        """Full byte-string encryption through the RLWE scheme."""
+        from repro.crypto.rlwe import RlweScheme
+        scheme = RlweScheme.for_degree(256, rng=np.random.default_rng(1))
+        pk, sk = scheme.keygen()
+        secret = b"attack at dawn"
+        ct = scheme.encrypt(pk, encode_bytes(secret, 256))
+        assert decode_bytes(scheme.decrypt(sk, ct)) == secret

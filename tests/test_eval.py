@@ -1,0 +1,166 @@
+"""Tests for the evaluation harness: table/figure structure and claims."""
+
+import pytest
+
+from repro.eval.claims import claims_by_name, headline_claims
+from repro.eval.experiments import (
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    variation_study,
+)
+from repro.eval.report import (
+    format_table,
+    render_all,
+    render_claims,
+    render_figure5,
+    render_table1,
+    render_table2,
+)
+from repro.ntt.params import PAPER_DEGREES
+
+
+class TestTable1:
+    def test_six_rows(self):
+        rows = table1()
+        assert len(rows) == 6
+        assert {r.reduction for r in rows} == {"barrett", "montgomery"}
+
+    def test_paper_values_attached(self):
+        rows = {(r.reduction, r.q): r for r in table1()}
+        assert rows[("montgomery", 7681)].paper_cycles == 683
+        assert rows[("barrett", 7681)].paper_cycles is None  # illegible scan
+
+    def test_ratio_property(self):
+        rows = {(r.reduction, r.q): r for r in table1()}
+        assert rows[("barrett", 7681)].ratio is None
+        assert rows[("montgomery", 786433)].ratio == pytest.approx(
+            rows[("montgomery", 786433)].model_cycles / 1083)
+
+
+class TestTable2:
+    def test_row_counts(self):
+        rows = table2()
+        by_design = {}
+        for r in rows:
+            by_design.setdefault(r.design, []).append(r)
+        assert len(by_design["cpu"]) == 8
+        assert len(by_design["fpga"]) == 3   # paper has no FPGA rows >= 2k
+        assert len(by_design["cryptopim"]) == 8
+
+    def test_cryptopim_rows_are_computed(self):
+        rows = [r for r in table2() if r.design == "cryptopim"]
+        assert all(r.source == "model" for r in rows)
+        lat = {r.n: r.latency_us for r in rows}
+        assert lat[256] == pytest.approx(68.67, rel=1e-3)
+        assert lat[32768] == pytest.approx(479.95, rel=1e-3)
+
+    def test_cpu_rows_are_references(self):
+        rows = [r for r in table2() if r.design == "cpu"]
+        assert all(r.source == "paper-reference" for r in rows)
+
+
+class TestFigure4:
+    def test_three_variants(self):
+        data = figure4()
+        assert set(data) == {"area-efficient", "naive", "cryptopim"}
+
+    def test_cryptopim_slowest_is_multiplier(self):
+        blocks = figure4()["cryptopim"]
+        slowest = [b for b in blocks if b.is_slowest]
+        assert slowest
+        assert all("/mul" in b.label for b in slowest)
+
+    def test_stage_latencies_ordered(self):
+        data = figure4()
+        stage = {v: max(b.cycles for b in blocks) for v, blocks in data.items()}
+        assert stage["area-efficient"] > stage["naive"] > stage["cryptopim"]
+        assert stage["cryptopim"] == 1643
+
+
+class TestFigure5:
+    def test_all_degrees(self):
+        assert [r.n for r in figure5()] == list(PAPER_DEGREES)
+
+    def test_pipelining_tradeoffs(self):
+        for row in figure5():
+            assert row.throughput_gain > 20
+            assert 0 < row.latency_overhead < 1.0
+            assert 0 < row.energy_increase < 0.05
+
+    def test_large_degrees_less_balanced(self):
+        """32-bit pipelines are multiplier-dominated: bigger latency
+        overhead than 16-bit ones (Section IV-B's explanation)."""
+        rows = {r.n: r for r in figure5()}
+        assert rows[2048].latency_overhead > rows[256].latency_overhead
+
+
+class TestFigure6:
+    def test_series_complete(self):
+        for row in figure6():
+            assert set(row.latency_us) == {"BP-1", "BP-2", "BP-3", "CryptoPIM"}
+
+    def test_speedup_helper(self):
+        row = figure6([256])[0]
+        assert row.speedup("BP-1", "CryptoPIM") > 1
+
+
+class TestClaims:
+    def test_all_claims_present(self):
+        names = {c.name for c in headline_claims()}
+        assert "fpga_throughput_gain" in names
+        assert "cpu_performance_gain" in names
+        assert "cryptopim_over_bp1" in names
+        assert "mc_noise_margin_reduction_pct" in names
+        assert len(names) == 16
+
+    def test_key_claims_tight(self):
+        """The central abstract claims must reproduce within 15%."""
+        claims = claims_by_name()
+        for name in ("fpga_throughput_gain", "fpga_performance_reduction_pct",
+                     "cpu_performance_gain", "cpu_throughput_gain"):
+            assert claims[name].within(0.15), claims[name]
+
+    def test_secondary_claims_within_bands(self):
+        claims = claims_by_name()
+        assert claims["fpga_energy_ratio"].within(0.25)
+        assert claims["cpu_energy_gain"].within(0.25)
+        assert claims["bp2_over_bp1"].within(0.25)
+        assert claims["cryptopim_over_bp3"].within(0.25)
+        assert claims["cryptopim_over_bp1"].within(0.35)
+        assert claims["mc_noise_margin_reduction_pct"].within(0.25)
+
+    def test_within_helper(self):
+        c = headline_claims()[0]
+        assert c.within(10.0)
+        assert "paper" in str(c)
+
+
+class TestVariationStudy:
+    def test_paper_shape(self):
+        result = variation_study()
+        assert result.samples == 5000
+        assert result.functional  # no failures, like the paper
+        assert 10 < result.max_reduction_pct < 40  # paper: 25.6%
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title + header + rule + 2 rows
+
+    def test_renderers_nonempty(self):
+        assert "Table I" in render_table1()
+        assert "cryptopim" in render_table2()
+        assert "tput gain" in render_figure5()
+        assert "claim" in render_claims()
+
+    def test_render_all_contains_everything(self):
+        text = render_all()
+        for marker in ("Table I", "Table II", "Figure 4", "Figure 5",
+                       "Figure 6", "Headline claims", "robustness"):
+            assert marker in text

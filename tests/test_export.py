@@ -1,0 +1,69 @@
+"""Tests for the machine-readable experiment export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.eval.export import export_all, table_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table_rows()
+
+
+class TestTableRows:
+    def test_all_experiments_present(self, rows):
+        assert set(rows) == {"table1", "table2", "figure4", "figure5",
+                             "figure6", "claims", "variation"}
+
+    def test_row_counts(self, rows):
+        assert len(rows["table1"]) == 6
+        assert len(rows["table2"]) == 19
+        assert len(rows["figure5"]) == 8
+        assert len(rows["figure6"]) == 8
+        assert len(rows["claims"]) == 16
+        assert len(rows["variation"]) == 1
+
+    def test_records_are_flat_and_json_safe(self, rows):
+        text = json.dumps(rows)  # raises on non-serialisable values
+        assert "cryptopim" in text
+
+    def test_table2_values(self, rows):
+        cryptopim = [r for r in rows["table2"] if r["design"] == "cryptopim"]
+        by_n = {r["n"]: r for r in cryptopim}
+        assert by_n[256]["latency_us"] == pytest.approx(68.68, abs=0.01)
+        assert by_n[32768]["throughput_per_s"] == pytest.approx(137512, abs=1)
+
+    def test_claims_deviation_present(self, rows):
+        names = {r["name"] for r in rows["claims"]}
+        assert "fpga_throughput_gain" in names
+        for record in rows["claims"]:
+            assert "deviation_pct" in record
+
+
+class TestExportAll:
+    def test_writes_all_files(self, tmp_path):
+        written = export_all(tmp_path)
+        names = {p.name for p in written}
+        assert "experiments.json" in names
+        assert "table2.csv" in names
+        assert len(written) == 8
+
+    def test_csv_readable(self, tmp_path):
+        export_all(tmp_path)
+        with (tmp_path / "figure5.csv").open() as handle:
+            records = list(csv.DictReader(handle))
+        assert len(records) == 8
+        assert float(records[0]["throughput_gain"]) > 20
+
+    def test_json_matches_rows(self, tmp_path, rows):
+        export_all(tmp_path)
+        data = json.loads((tmp_path / "experiments.json").read_text())
+        assert data["table1"] == json.loads(json.dumps(rows["table1"]))
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        export_all(target)
+        assert (target / "experiments.json").exists()

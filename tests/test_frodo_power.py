@@ -1,0 +1,89 @@
+"""Tests for the Frodo-style LWE scheme and the power-profile model."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineModel
+from repro.core.power import (
+    peak_power_w,
+    power_trace_non_pipelined,
+    steady_state_power_w,
+)
+from repro.crypto.frodo import FrodoLitePke, key_size_comparison
+
+
+class TestFrodo:
+    @pytest.fixture
+    def pke(self):
+        return FrodoLitePke(n=128, rng=np.random.default_rng(1))
+
+    def test_roundtrip(self, pke):
+        pk, sk = pke.keygen()
+        bits = np.random.default_rng(2).integers(0, 2, (8, 8))
+        assert np.array_equal(pke.decrypt(sk, pke.encrypt(pk, bits)), bits)
+
+    def test_repeated_roundtrips(self, pke):
+        pk, sk = pke.keygen()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            bits = rng.integers(0, 2, (8, 8))
+            assert np.array_equal(pke.decrypt(sk, pke.encrypt(pk, bits)), bits)
+
+    def test_message_shape_enforced(self, pke):
+        pk, _ = pke.keygen()
+        with pytest.raises(ValueError):
+            pke.encrypt(pk, np.zeros((4, 4), dtype=np.int64))
+
+    def test_power_of_two_modulus_required(self):
+        with pytest.raises(ValueError):
+            FrodoLitePke(q=12289)
+
+    def test_key_sizes(self):
+        pke = FrodoLitePke(n=256)
+        assert pke.full_matrix_bytes() == 256 * 256 * 15 // 8  # log2(2^15) bits
+        assert pke.public_key_bytes() < pke.full_matrix_bytes()
+
+    def test_intro_claim_factor_n(self):
+        """'RLWE reduces the key size by a factor of n' - within 2x of
+        exactly n (bit-width differences account for the rest)."""
+        for n in (256, 1024):
+            cmp = key_size_comparison(n)
+            assert n / 2 <= cmp["ratio"] <= 2 * n
+
+
+class TestPowerModel:
+    def test_steady_state_consistent_with_energy(self):
+        """power x stage time == Table II energy (per result)."""
+        model = PipelineModel.for_degree(1024)
+        power = steady_state_power_w(model)
+        stage_us = model.device.cycles_to_us(model.stage_cycles)
+        assert power * stage_us == pytest.approx(
+            model.report(True).energy_uj)
+
+    def test_trace_energy_adds_up(self):
+        """Integrating the non-pipelined trace recovers the total energy
+        (with multiplicity, i.e. both polynomials' banks)."""
+        model = PipelineModel.for_degree(256)
+        trace = power_trace_non_pipelined(model)
+        integrated = sum(s.power_w * s.duration_us for s in trace)
+        expected = PipelineModel.for_degree(256).energy().total_uj
+        assert integrated == pytest.approx(expected, rel=1e-6)
+
+    def test_trace_is_contiguous(self):
+        model = PipelineModel.for_degree(64)
+        trace = power_trace_non_pipelined(model)
+        for prev, cur in zip(trace, trace[1:]):
+            assert cur.start_us == pytest.approx(prev.start_us + prev.duration_us)
+
+    def test_peak_at_least_average(self):
+        model = PipelineModel.for_degree(2048)
+        trace = power_trace_non_pipelined(model)
+        average = (sum(s.power_w * s.duration_us for s in trace)
+                   / sum(s.duration_us for s in trace))
+        assert peak_power_w(model) >= average
+
+    def test_power_grows_with_degree(self):
+        """More parallel rows per stage -> more instantaneous power."""
+        small = steady_state_power_w(PipelineModel.for_degree(256))
+        large = steady_state_power_w(PipelineModel.for_degree(32768))
+        assert large > 10 * small

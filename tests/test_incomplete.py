@@ -1,0 +1,91 @@
+"""Tests for the incomplete (truncated) NTT."""
+
+import numpy as np
+import pytest
+
+from repro.ntt.incomplete import KYBER_ROUND3_Q, IncompleteNtt
+from repro.ntt.naive import schoolbook_negacyclic
+
+
+class TestConstruction:
+    def test_kyber_round3_parameters_accepted(self):
+        """q = 3329 supports only the 1-incomplete transform at n = 256."""
+        ntt = IncompleteNtt(256, KYBER_ROUND3_Q, levels=1)
+        assert ntt.num_slots == 128
+        assert ntt.slot_size == 2
+
+    def test_complete_transform_rejected_for_3329(self):
+        # a complete negacyclic NTT needs a 512-th root: 512 does not
+        # divide 3328 = 2^8 * 13
+        with pytest.raises(ValueError):
+            IncompleteNtt(256, KYBER_ROUND3_Q, levels=0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IncompleteNtt(100, 7681, 0)       # not a power of two
+        with pytest.raises(ValueError):
+            IncompleteNtt(256, 7680, 0)       # not prime
+        with pytest.raises(ValueError):
+            IncompleteNtt(256, 7681, 8)       # levels out of range
+
+    def test_repr(self):
+        assert "128 slots" in repr(IncompleteNtt(256, KYBER_ROUND3_Q, 1))
+
+
+class TestForwardInverse:
+    @pytest.mark.parametrize("levels", [0, 1, 2, 3])
+    def test_roundtrip(self, levels, rng):
+        ntt = IncompleteNtt(64, 7681, levels)
+        a = rng.integers(0, 7681, 64).tolist()
+        assert ntt.inverse(ntt.forward(a)) == a
+
+    def test_forward_slot_structure(self, rng):
+        ntt = IncompleteNtt(16, 7681, levels=2)
+        slots = ntt.forward(rng.integers(0, 7681, 16).tolist())
+        assert len(slots) == 4
+        assert all(len(s.coeffs) == 4 for s in slots)
+        # slot roots are pairwise distinct evaluation points
+        assert len({s.root for s in slots}) == 4
+
+    def test_forward_is_residue_reduction(self, rng):
+        """slot i must literally equal a(x) mod (x^m - r_i)."""
+        ntt = IncompleteNtt(16, 7681, levels=2)
+        a = rng.integers(0, 7681, 16).tolist()
+        for slot in ntt.forward(a):
+            m, q, r = 4, 7681, slot.root
+            residue = [0] * m
+            power = 1  # r^(k // m) accumulated as we fold x^k = r^(k//m) x^(k%m)
+            for k, coeff in enumerate(a):
+                if k and k % m == 0:
+                    power = (power * r) % q
+                residue[k % m] = (residue[k % m] + coeff * power) % q
+            assert list(slot.coeffs) == residue
+
+    def test_wrong_length_rejected(self, rng):
+        ntt = IncompleteNtt(16, 7681, 1)
+        with pytest.raises(ValueError):
+            ntt.forward([1] * 8)
+        with pytest.raises(ValueError):
+            ntt.inverse([])
+
+
+class TestMultiplication:
+    def test_kyber_round3_product(self, rng):
+        ntt = IncompleteNtt(256, KYBER_ROUND3_Q, levels=1)
+        a = rng.integers(0, KYBER_ROUND3_Q, 256).tolist()
+        b = rng.integers(0, KYBER_ROUND3_Q, 256).tolist()
+        assert ntt.multiply(a, b) == schoolbook_negacyclic(a, b, KYBER_ROUND3_Q)
+
+    @pytest.mark.parametrize("levels", [0, 1, 3])
+    def test_product_all_levels(self, levels, rng):
+        ntt = IncompleteNtt(64, 7681, levels)
+        a = rng.integers(0, 7681, 64).tolist()
+        b = rng.integers(0, 7681, 64).tolist()
+        assert ntt.multiply(a, b) == schoolbook_negacyclic(a, b, 7681)
+
+    def test_base_multiplication_count_grows_with_levels(self):
+        counts = [IncompleteNtt(64, 7681, lv).base_multiplications()
+                  for lv in range(4)]
+        assert counts == sorted(counts)
+        assert counts[0] == 64          # complete: one mult per slot
+        assert counts[1] == 2 * 64      # degree-2 slots: 4 mults per 2 slots...

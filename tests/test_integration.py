@@ -1,0 +1,105 @@
+"""End-to-end integration tests: crypto workloads on the simulated
+accelerator, and cross-layer consistency of the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import CryptoPIM
+from repro.crypto.bgv import BgvScheme
+from repro.crypto.kyber import KyberPke
+from repro.crypto.newhope import NewHopeKem
+from repro.crypto.rlwe import RlweScheme
+from repro.eval.experiments import table2
+from repro.ntt.params import params_for_degree
+
+
+class TestCryptoOnAccelerator:
+    def test_rlwe_on_cryptopim(self):
+        """Full public-key encryption with every ring product on the
+        simulated accelerator, collecting hardware reports."""
+        acc = CryptoPIM.for_degree(1024)
+        scheme = RlweScheme.for_degree(
+            1024, backend=acc, rng=np.random.default_rng(1))
+        pk, sk = scheme.keygen()
+        message = np.random.default_rng(2).integers(0, 2, 1024)
+        ct = scheme.encrypt(pk, message)
+        decrypted = scheme.decrypt(sk, ct)
+        assert np.array_equal(decrypted, message)
+        # keygen: 1 mult; encrypt: 2; decrypt: 1
+        assert acc.multiplications == 4
+        assert acc.last_report.latency_us == pytest.approx(83.12, rel=1e-3)
+
+    def test_rlwe_on_bit_level_accelerator(self):
+        """The same flow at gate-level fidelity (smaller ring)."""
+        acc = CryptoPIM.for_degree(256, fidelity="bit")
+        scheme = RlweScheme.for_degree(
+            256, backend=acc, rng=np.random.default_rng(3))
+        pk, sk = scheme.keygen()
+        message = np.random.default_rng(4).integers(0, 2, 256)
+        assert np.array_equal(scheme.decrypt(sk, scheme.encrypt(pk, message)),
+                              message)
+        assert acc.multiplications == 4
+
+    def test_newhope_on_cryptopim(self):
+        acc = CryptoPIM.for_degree(512)
+        kem = NewHopeKem(512, backend=acc, rng=np.random.default_rng(5))
+        pk, sk = kem.keygen()
+        ct, key_enc = kem.encapsulate(pk)
+        assert np.array_equal(kem.decapsulate(sk, ct), key_enc)
+        assert acc.multiplications == 4
+
+    def test_kyber_on_cryptopim(self):
+        acc = CryptoPIM.for_degree(256)
+        pke = KyberPke(k=2, backend=acc, rng=np.random.default_rng(6))
+        pk, sk = pke.keygen()
+        message = np.random.default_rng(7).integers(0, 2, 256)
+        before = acc.multiplications
+        ct = pke.encrypt(pk, message)
+        assert acc.multiplications - before == pke.multiplications_per_encrypt()
+        assert np.array_equal(pke.decrypt(sk, ct), message)
+
+    def test_bgv_on_cryptopim(self):
+        """Homomorphic multiplication - the paper's HE motivation - with
+        every degree-2048 ring product on the accelerator."""
+        acc = CryptoPIM.for_degree(2048)
+        bgv = BgvScheme(n=2048, backend=acc, rng=np.random.default_rng(8))
+        sk = bgv.keygen()
+        rng = np.random.default_rng(9)
+        m1, m2 = rng.integers(0, 2, 2048), rng.integers(0, 2, 2048)
+        product = bgv.multiply(bgv.encrypt(sk, m1), bgv.encrypt(sk, m2))
+        assert acc.multiplications >= 4  # tensor product alone is 4
+        assert acc.last_report.latency_us == pytest.approx(363.60, rel=1e-3)
+        from repro.ntt.naive import schoolbook_negacyclic
+        expected = np.array(schoolbook_negacyclic(m1.tolist(), m2.tolist(), bgv.t))
+        assert np.array_equal(bgv.decrypt(sk, product), expected)
+
+
+class TestCrossLayerConsistency:
+    def test_three_multiplier_implementations_agree(self, rng):
+        """software NTT == fast accelerator == bit-level machine."""
+        from repro.arch.dataflow import PimMachine
+        from repro.ntt.transform import NttEngine
+        n = 128
+        p = params_for_degree(n)
+        a = rng.integers(0, p.q, n)
+        b = rng.integers(0, p.q, n)
+        sw = NttEngine(p).multiply(a, b)
+        fast = CryptoPIM.for_degree(n).multiply(a, b)
+        bit = PimMachine(p).multiply(a, b)
+        assert np.array_equal(sw, fast)
+        assert np.array_equal(sw, bit)
+
+    def test_table2_consistent_with_accelerator_reports(self):
+        rows = {r.n: r for r in table2() if r.design == "cryptopim"}
+        for n in (256, 2048):
+            report = CryptoPIM.for_degree(n).report()
+            assert rows[n].latency_us == pytest.approx(report.latency_us)
+            assert rows[n].energy_uj == pytest.approx(report.energy_uj)
+
+    def test_public_api_surface(self):
+        """The names README documents must exist at the top level."""
+        import repro
+        for name in ("CryptoPIM", "CryptoPimChip", "PimMachine", "NttEngine",
+                     "Polynomial", "PipelineModel", "PipelineVariant",
+                     "params_for_degree", "PAPER_DEGREES"):
+            assert hasattr(repro, name), name

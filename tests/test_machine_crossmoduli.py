@@ -1,0 +1,67 @@
+"""Bit-level machine across moduli and datapath widths.
+
+The default tests exercise the machine on the small-degree (q=7681,
+16-bit) configuration; these build *custom* parameter sets so the
+gate-level path is validated on every paper modulus - including the
+32-bit datapath used for the HE degrees - at test-friendly degrees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.dataflow import PimMachine
+from repro.core.config import CryptoPimConfig
+from repro.core.pipeline import PipelineModel
+from repro.ntt.modmath import nth_root_of_unity
+from repro.ntt.naive import schoolbook_negacyclic
+from repro.ntt.params import NttParams
+
+
+def _custom_params(n: int, q: int, bitwidth: int) -> NttParams:
+    phi = nth_root_of_unity(2 * n, q)
+    return NttParams(n=n, q=q, bitwidth=bitwidth, w=pow(phi, 2, q), phi=phi)
+
+
+@pytest.mark.parametrize("q,bitwidth", [
+    (7681, 16),     # Kyber ring, 16-bit datapath
+    (12289, 16),    # NewHope ring
+    (786433, 32),   # SEAL ring, 32-bit datapath
+])
+class TestMachineAcrossModuli:
+    def test_functional(self, q, bitwidth, rng):
+        params = _custom_params(64, q, bitwidth)
+        machine = PimMachine(params)
+        a = rng.integers(0, q, 64)
+        b = rng.integers(0, q, 64)
+        expected = schoolbook_negacyclic(a.tolist(), b.tolist(), q)
+        assert machine.multiply(a, b).tolist() == expected
+
+    def test_cycles_match_model(self, q, bitwidth, rng):
+        params = _custom_params(64, q, bitwidth)
+        machine = PimMachine(params)
+        a = rng.integers(0, q, 64)
+        machine.multiply(a, a)
+        model = PipelineModel(CryptoPimConfig(params=params))
+        assert machine.counter.cycles == model.total_block_cycles()
+
+    def test_energy_events_match_model(self, q, bitwidth, rng):
+        params = _custom_params(64, q, bitwidth)
+        machine = PimMachine(params)
+        a = rng.integers(0, q, 64)
+        machine.multiply(a, a)
+        model = PipelineModel(CryptoPimConfig(params=params))
+        assert machine.counter.row_events == (
+            model.op_row_events() + model.overhead_row_events())
+
+
+class TestDilithiumRingOnMachine:
+    def test_23bit_prime(self, rng):
+        """The machine also runs the Dilithium prime (q = 8380417,
+        generalised Algorithm 3 with a 24-bit datapath)."""
+        q = 8380417
+        params = _custom_params(64, q, bitwidth=24)
+        machine = PimMachine(params)
+        a = rng.integers(0, q, 64)
+        b = rng.integers(0, q, 64)
+        expected = schoolbook_negacyclic(a.tolist(), b.tolist(), q)
+        assert machine.multiply(a, b).tolist() == expected

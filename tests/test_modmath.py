@@ -1,0 +1,181 @@
+"""Unit tests for repro.ntt.modmath."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ntt.modmath import (
+    bit_length_of_modulus,
+    centered,
+    egcd,
+    factorize,
+    is_nth_root_of_unity,
+    is_prime,
+    mod_add,
+    mod_inverse,
+    mod_mul,
+    mod_pow,
+    mod_sub,
+    nth_root_of_unity,
+    primitive_root,
+)
+
+PAPER_PRIMES = (7681, 12289, 786433)
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("q", PAPER_PRIMES)
+    def test_inverse_small_values(self, q):
+        for a in (1, 2, 3, q - 1, q // 2):
+            inv = mod_inverse(a, q)
+            assert (a * inv) % q == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            mod_inverse(6, 9)
+
+    def test_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            mod_inverse(0, 17)
+
+    @given(st.integers(1, 12288))
+    def test_inverse_mod_12289(self, a):
+        inv = mod_inverse(a, 12289)
+        assert 0 <= inv < 12289
+        assert (a * inv) % 12289 == 1
+
+
+class TestBasicOps:
+    def test_add_wraps(self):
+        assert mod_add(7680, 5, 7681) == 4
+
+    def test_sub_wraps(self):
+        assert mod_sub(3, 5, 7681) == 7679
+
+    def test_mul(self):
+        assert mod_mul(1234, 5678, 12289) == (1234 * 5678) % 12289
+
+    def test_pow_negative_exponent(self):
+        q = 12289
+        assert mod_pow(3, -1, q) == mod_inverse(3, q)
+        assert (mod_pow(3, -5, q) * pow(3, 5, q)) % q == 1
+
+    def test_pow_zero(self):
+        assert mod_pow(5, 0, 7681) == 1
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("q", PAPER_PRIMES)
+    def test_paper_moduli_are_prime(self, q):
+        assert is_prime(q)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 7682, 12288, 786432])
+    def test_composites(self, n):
+        assert not is_prime(n)
+
+    def test_small_primes(self):
+        assert [p for p in range(2, 50) if is_prime(p)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47
+        ]
+
+    def test_carmichael_number(self):
+        assert not is_prime(561)  # 3 * 11 * 17, fools Fermat tests
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)
+
+
+class TestFactorize:
+    def test_basic(self):
+        assert factorize(12) == [2, 3]
+        assert factorize(7681 - 1) == [2, 3, 5]       # 7680 = 2^9 * 3 * 5
+        assert factorize(12289 - 1) == [2, 3]         # 12288 = 2^12 * 3
+        assert factorize(786433 - 1) == [2, 3]        # 786432 = 2^18 * 3
+
+    def test_prime(self):
+        assert factorize(97) == [97]
+
+    def test_one(self):
+        assert factorize(1) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+
+class TestRootsOfUnity:
+    @pytest.mark.parametrize("q", PAPER_PRIMES)
+    def test_primitive_root_generates(self, q):
+        g = primitive_root(q)
+        # g^(q-1) = 1 but no smaller prime-quotient power is 1
+        assert pow(g, q - 1, q) == 1
+        for p in factorize(q - 1):
+            assert pow(g, (q - 1) // p, q) != 1
+
+    def test_primitive_root_requires_prime(self):
+        with pytest.raises(ValueError):
+            primitive_root(12)
+
+    @pytest.mark.parametrize("q,n", [(7681, 256), (7681, 512),
+                                     (12289, 1024), (12289, 2048),
+                                     (786433, 65536)])
+    def test_nth_root(self, q, n):
+        w = nth_root_of_unity(n, q)
+        assert pow(w, n, q) == 1
+        assert pow(w, n // 2, q) == q - 1  # primitive => w^(n/2) = -1
+
+    def test_unsupported_order_raises(self):
+        # 7681 - 1 = 2^9 * 3 * 5: no order-1024 subgroup
+        with pytest.raises(ValueError):
+            nth_root_of_unity(1024, 7681)
+
+    def test_is_nth_root_of_unity_rejects_non_primitive(self):
+        q = 12289
+        w = nth_root_of_unity(8, q)
+        assert is_nth_root_of_unity(w, 8, q)
+        assert not is_nth_root_of_unity(pow(w, 2, q), 8, q)
+        assert not is_nth_root_of_unity(1, 8, q)
+
+
+class TestCentered:
+    def test_half_boundary(self):
+        assert centered(6, 12) == 6      # q/2 maps to +q/2
+        assert centered(7, 12) == -5
+
+    def test_zero(self):
+        assert centered(0, 7681) == 0
+
+    @given(st.integers(-10**6, 10**6))
+    def test_congruent_and_in_range(self, a):
+        q = 7681
+        c = centered(a, q)
+        assert (c - a) % q == 0
+        assert -q // 2 < c <= q // 2
+
+
+def test_bit_length_of_modulus():
+    assert bit_length_of_modulus(7681) == 13
+    assert bit_length_of_modulus(12289) == 14
+    assert bit_length_of_modulus(786433) == 20
+    assert bit_length_of_modulus(2) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for the reference multipliers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntt.naive import (
+    karatsuba_linear,
+    karatsuba_negacyclic,
+    schoolbook_negacyclic,
+    schoolbook_negacyclic_np,
+)
+
+
+class TestSchoolbook:
+    def test_simple_product(self):
+        # (1 + x)(1 + x) = 1 + 2x + x^2 in Z_q[x]/(x^4+1)
+        q = 7681
+        a = [1, 1, 0, 0]
+        assert schoolbook_negacyclic(a, a, q) == [1, 2, 1, 0]
+
+    def test_wraparound_sign(self):
+        # x^3 * x = x^4 = -1 mod (x^4 + 1)
+        q = 7681
+        x3 = [0, 0, 0, 1]
+        x1 = [0, 1, 0, 0]
+        assert schoolbook_negacyclic(x3, x1, q) == [q - 1, 0, 0, 0]
+
+    def test_zero(self):
+        q = 12289
+        assert schoolbook_negacyclic([0] * 8, [1] * 8, q) == [0] * 8
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            schoolbook_negacyclic([1, 2], [1, 2, 3], 17)
+
+    def test_numpy_matches_python(self, rng):
+        for n, q in ((16, 7681), (256, 7681), (512, 12289), (64, 786433)):
+            a = rng.integers(0, q, n)
+            b = rng.integers(0, q, n)
+            py = schoolbook_negacyclic(a.tolist(), b.tolist(), q)
+            np_out = schoolbook_negacyclic_np(a, b, q)
+            assert np_out.tolist() == py
+
+
+class TestKaratsuba:
+    def test_linear_product_small(self):
+        q = 97
+        a, b = [1, 2, 3, 4], [5, 6, 7, 8]
+        expected = [0] * 7
+        for i, ai in enumerate(a):
+            for j, bj in enumerate(b):
+                expected[i + j] = (expected[i + j] + ai * bj) % q
+        assert karatsuba_linear(a, b, q) == expected
+
+    @pytest.mark.parametrize("n", [32, 64, 256])
+    def test_negacyclic_matches_schoolbook(self, n, rng):
+        q = 12289
+        a = rng.integers(0, q, n).tolist()
+        b = rng.integers(0, q, n).tolist()
+        assert karatsuba_negacyclic(a, b, q) == schoolbook_negacyclic(a, b, q)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            karatsuba_linear([1] * 4, [1] * 8, 17)
+
+    @given(
+        st.lists(st.integers(0, 96), min_size=32, max_size=32),
+        st.lists(st.integers(0, 96), min_size=32, max_size=32),
+    )
+    @settings(max_examples=25)
+    def test_agreement_property(self, a, b):
+        q = 97
+        assert karatsuba_negacyclic(a, b, q) == schoolbook_negacyclic(a, b, q)

@@ -1,0 +1,116 @@
+"""Unit tests for the paper's parameter sets."""
+
+import pytest
+
+from repro.ntt.modmath import mod_inverse
+from repro.ntt.params import (
+    HE_DEGREES,
+    PAPER_DEGREES,
+    PUBLIC_KEY_DEGREES,
+    NttParams,
+    bitwidth_for_degree,
+    modulus_for_degree,
+    named_parameter_sets,
+    params_for_degree,
+)
+
+
+class TestModulusSelection:
+    """Section III-B fixes q per degree; Table II fixes the bit-width."""
+
+    @pytest.mark.parametrize("n,q", [
+        (4, 7681), (64, 7681), (256, 7681),
+        (512, 12289), (1024, 12289),
+        (2048, 786433), (32768, 786433),
+    ])
+    def test_paper_assignment(self, n, q):
+        assert modulus_for_degree(n) == q
+
+    @pytest.mark.parametrize("n,width", [
+        (256, 16), (512, 16), (1024, 16),
+        (2048, 32), (32768, 32),
+    ])
+    def test_bitwidth(self, n, width):
+        assert bitwidth_for_degree(n) == width
+
+    @pytest.mark.parametrize("bad", [0, 3, 100, -8, 2])
+    def test_invalid_degree(self, bad):
+        with pytest.raises(ValueError):
+            modulus_for_degree(bad)
+
+    def test_degree_constants(self):
+        assert PAPER_DEGREES == (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+        assert PUBLIC_KEY_DEGREES == (256, 512, 1024)
+        assert set(HE_DEGREES) | set(PUBLIC_KEY_DEGREES) == set(PAPER_DEGREES)
+
+
+class TestParamsForDegree:
+    @pytest.mark.parametrize("n", PAPER_DEGREES)
+    def test_roots_are_valid(self, n):
+        p = params_for_degree(n)
+        q = p.q
+        assert pow(p.phi, 2 * n, q) == 1
+        assert pow(p.phi, n, q) == q - 1        # phi^n = -1: the negacyclic twist
+        assert pow(p.phi, 2, q) == p.w
+        assert pow(p.w, n, q) == 1
+        assert pow(p.w, n // 2, q) == q - 1
+
+    @pytest.mark.parametrize("n", [16, 256, 1024, 4096])
+    def test_inverses(self, n):
+        p = params_for_degree(n)
+        assert (p.w * p.w_inv) % p.q == 1
+        assert (p.phi * p.phi_inv) % p.q == 1
+        assert (n * p.n_inv) % p.q == 1
+
+    def test_caching(self):
+        assert params_for_degree(256) is params_for_degree(256)
+
+    def test_rejects_mismatched_phi(self):
+        p = params_for_degree(16)
+        with pytest.raises(ValueError):
+            NttParams(n=16, q=p.q, bitwidth=16, w=p.w, phi=(p.phi + 1) % p.q)
+
+    def test_rejects_non_primitive_w(self):
+        p = params_for_degree(16)
+        # phi' = phi^3 has phi'^2 = w^3 which is a valid 16th root pairing
+        # only if w^3 is primitive; w^8=-1 so w^24 = -1: order 16 - it IS
+        # primitive. Use w=1 instead, which never is.
+        with pytest.raises(ValueError):
+            NttParams(n=16, q=p.q, bitwidth=16, w=1, phi=p.q - 1)
+
+
+class TestTwiddleTables:
+    @pytest.mark.parametrize("n", [16, 256, 1024])
+    def test_forward_table_values(self, n):
+        p = params_for_degree(n)
+        table = p.forward_twiddles()
+        assert len(table) == n // 2
+        assert table[0] == 1
+        assert all(table[i] == pow(p.w, i, p.q) for i in range(0, n // 2, max(1, n // 16)))
+
+    def test_inverse_table_is_elementwise_inverse(self):
+        p = params_for_degree(64)
+        fwd, inv = p.forward_twiddles(), p.inverse_twiddles()
+        assert all((f * i) % p.q == 1 for f, i in zip(fwd, inv))
+
+    def test_bitrev_table_is_permutation(self):
+        p = params_for_degree(128)
+        assert sorted(p.forward_twiddles_bitrev()) == sorted(p.forward_twiddles())
+
+    def test_phi_tables(self):
+        p = params_for_degree(32)
+        phis = p.phi_powers()
+        assert phis[0] == 1 and phis[1] == p.phi
+        scaled = p.phi_inv_powers_scaled()
+        # scaled[i] = n^-1 * phi^-i
+        assert scaled[0] == p.n_inv
+        assert (scaled[1] * p.phi * 32) % p.q == 1
+
+
+def test_named_parameter_sets():
+    sets = named_parameter_sets()
+    assert sets["kyber-256"].q == 7681
+    assert sets["newhope-1024"].q == 12289
+    assert sets["seal-32768"].q == 786433
+    assert sets["seal-32768"].bitwidth == 32
+    assert len(sets) == 8

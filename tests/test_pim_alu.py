@@ -1,0 +1,156 @@
+"""Unit tests for the gate-level row-parallel ALU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.alu import BitSliceAlu, from_bits, to_bits
+from repro.pim.logic import (
+    CycleCounter,
+    add_cycles,
+    mul_cycles_cryptopim,
+    sub_cycles,
+)
+
+
+class TestBitPacking:
+    def test_roundtrip(self, rng):
+        values = rng.integers(0, 2**16, 100).astype(np.uint64)
+        assert np.array_equal(from_bits(to_bits(values, 16)), values)
+
+    def test_msb_first(self):
+        bits = to_bits(np.array([0b1010], dtype=np.uint64), 4)
+        assert bits[0].tolist() == [True, False, True, False]
+
+    def test_overflow_detected(self):
+        with pytest.raises(OverflowError):
+            to_bits(np.array([16], dtype=np.uint64), 4)
+
+    def test_full_64bit_width(self):
+        v = np.array([2**63 + 1], dtype=np.uint64)
+        assert from_bits(to_bits(v, 64))[0] == v[0]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            to_bits(np.array([1], dtype=np.uint64), 65)
+        with pytest.raises(ValueError):
+            to_bits(np.array([1], dtype=np.uint64), 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            to_bits(np.zeros((2, 2), dtype=np.uint64), 4)
+        with pytest.raises(ValueError):
+            from_bits(np.zeros(4, dtype=bool))
+
+
+class TestAdder:
+    def test_functional(self, rng):
+        alu = BitSliceAlu()
+        a = rng.integers(0, 2**16, 200).astype(np.uint64)
+        b = rng.integers(0, 2**16, 200).astype(np.uint64)
+        assert np.array_equal(alu.add_ints(a, b, 16), a + b)
+
+    def test_carry_chain(self):
+        alu = BitSliceAlu()
+        a = np.array([0xFFFF], dtype=np.uint64)
+        b = np.array([1], dtype=np.uint64)
+        assert alu.add_ints(a, b, 16)[0] == 0x10000
+
+    def test_cycles_match_closed_form(self):
+        for width in (4, 8, 16, 32):
+            counter = CycleCounter()
+            alu = BitSliceAlu(counter)
+            alu.add_ints(np.array([1], dtype=np.uint64),
+                         np.array([2], dtype=np.uint64), width)
+            assert counter.cycles == add_cycles(width)
+
+    def test_row_parallelism_costs_once(self):
+        """512 rows must cost the same cycles as 1 row (the PIM property)."""
+        one, many = CycleCounter(), CycleCounter()
+        BitSliceAlu(one).add_ints(np.array([1], dtype=np.uint64),
+                                  np.array([2], dtype=np.uint64), 16)
+        vals = np.arange(512, dtype=np.uint64)
+        BitSliceAlu(many).add_ints(vals, vals, 16)
+        assert one.cycles == many.cycles
+        assert many.row_events == 512 * one.row_events
+
+    def test_carry_in(self):
+        alu = BitSliceAlu()
+        a = to_bits(np.array([5, 5], dtype=np.uint64), 8)
+        b = to_bits(np.array([7, 7], dtype=np.uint64), 8)
+        out = alu.add(a, b, carry_in=np.array([False, True]))
+        assert from_bits(out).tolist() == [12, 13]
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100)
+    def test_add_property(self, x, y):
+        alu = BitSliceAlu()
+        out = alu.add_ints(np.array([x], dtype=np.uint64),
+                           np.array([y], dtype=np.uint64), 32)
+        assert out[0] == x + y
+
+
+class TestSubtractor:
+    def test_functional(self, rng):
+        alu = BitSliceAlu()
+        a = rng.integers(2**15, 2**16, 200).astype(np.uint64)
+        b = rng.integers(0, 2**15, 200).astype(np.uint64)
+        diff, borrow = alu.sub_ints(a, b, 16)
+        assert np.array_equal(diff, a - b)
+        assert not borrow.any()
+
+    def test_borrow_flag(self):
+        alu = BitSliceAlu()
+        diff, borrow = alu.sub_ints(np.array([3], dtype=np.uint64),
+                                    np.array([5], dtype=np.uint64), 8)
+        assert borrow[0]
+        assert diff[0] == (3 - 5) % 256  # two's complement wrap
+
+    def test_cycles_match_closed_form(self):
+        for width in (4, 16, 32):
+            counter = CycleCounter()
+            alu = BitSliceAlu(counter)
+            alu.sub_ints(np.array([9], dtype=np.uint64),
+                         np.array([4], dtype=np.uint64), width)
+            assert counter.cycles == sub_cycles(width)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100)
+    def test_sub_property(self, x, y):
+        alu = BitSliceAlu()
+        diff, borrow = alu.sub_ints(np.array([x], dtype=np.uint64),
+                                    np.array([y], dtype=np.uint64), 32)
+        assert bool(borrow[0]) == (y > x)
+        assert diff[0] == (x - y) % 2**32
+
+
+class TestMultiplier:
+    def test_functional(self, rng):
+        alu = BitSliceAlu()
+        a = rng.integers(0, 2**16, 100).astype(np.uint64)
+        b = rng.integers(0, 2**16, 100).astype(np.uint64)
+        assert np.array_equal(alu.mul_ints(a, b, 16), a * b)
+
+    def test_cycles_match_closed_form(self):
+        for width in (16, 32):
+            counter = CycleCounter()
+            alu = BitSliceAlu(counter)
+            alu.mul_ints(np.array([3], dtype=np.uint64),
+                         np.array([5], dtype=np.uint64), width)
+            assert counter.cycles == mul_cycles_cryptopim(width)
+
+    def test_32bit_full_range(self):
+        alu = BitSliceAlu()
+        a = np.array([2**32 - 1], dtype=np.uint64)
+        out = alu.mul_ints(a, a, 32)
+        assert out[0] == (2**32 - 1) ** 2
+
+    def test_shape_mismatch_rejected(self):
+        alu = BitSliceAlu()
+        with pytest.raises(ValueError):
+            alu.add(np.zeros((2, 8), dtype=bool), np.zeros((2, 4), dtype=bool))
+
+    def test_product_too_wide_rejected(self):
+        alu = BitSliceAlu()
+        with pytest.raises(ValueError):
+            alu.mul(np.zeros((1, 33), dtype=bool), np.zeros((1, 33), dtype=bool))

@@ -1,0 +1,124 @@
+"""Unit tests for the PIM-enabled memory block."""
+
+import numpy as np
+import pytest
+
+from repro.pim.alu import BitSliceAlu
+from repro.pim.block import PimBlock, execute_program_bitlevel
+from repro.pim.logic import CycleCounter, add_cycles, mul_cycles_cryptopim, sub_cycles
+from repro.pim.reduction_programs import PAPER_MODULI, ReductionKit
+
+
+@pytest.fixture(params=[(7681, 16), (12289, 16), (786433, 32)])
+def q_and_width(request):
+    return request.param
+
+
+class TestBitLevelProgramExecution:
+    def test_barrett_functional_and_cycles(self, q_and_width, rng):
+        q, _ = q_and_width
+        kit = ReductionKit.for_modulus(q)
+        counter = CycleCounter()
+        alu = BitSliceAlu(counter)
+        xs = rng.integers(0, 2 * (q - 1) + 1, 300).astype(np.uint64)
+        out = execute_program_bitlevel(kit.barrett, alu, xs)
+        assert np.array_equal(out, xs % q)
+        assert counter.cycles == kit.barrett.cost().cycles
+
+    def test_montgomery_functional_and_cycles(self, q_and_width, rng):
+        q, _ = q_and_width
+        kit = ReductionKit.for_modulus(q)
+        reducer = kit.montgomery_reducer()
+        counter = CycleCounter()
+        alu = BitSliceAlu(counter)
+        xs = rng.integers(0, (2 * q - 2) * (q - 1), 300).astype(np.uint64)
+        out = execute_program_bitlevel(kit.montgomery, alu, xs)
+        expected = np.array([reducer.redc(int(x)) for x in xs], dtype=np.uint64)
+        assert np.array_equal(out, expected)
+        assert counter.cycles == kit.montgomery.cost().cycles
+
+    def test_missing_out_register(self):
+        from repro.pim.shiftadd import INPUT, ShiftAddProgram
+        prog = ShiftAddProgram(q=17, input_bound=16)
+        prog.load("t", INPUT)
+        with pytest.raises(KeyError):
+            execute_program_bitlevel(prog, BitSliceAlu(), np.array([1], dtype=np.uint64))
+
+
+class TestBlockArithmetic:
+    def test_add_mod(self, q_and_width, rng):
+        q, width = q_and_width
+        kit = ReductionKit.for_modulus(q)
+        block = PimBlock(bitwidth=width)
+        a = rng.integers(0, q, 128).astype(np.uint64)
+        b = rng.integers(0, q, 128).astype(np.uint64)
+        assert np.array_equal(block.add_mod(a, b, kit.barrett), (a + b) % q)
+
+    def test_sub_mod(self, q_and_width, rng):
+        q, width = q_and_width
+        kit = ReductionKit.for_modulus(q)
+        block = PimBlock(bitwidth=width)
+        a = rng.integers(0, q, 128).astype(np.int64)
+        b = rng.integers(0, q, 128).astype(np.int64)
+        out = block.sub_mod(a.astype(np.uint64), b.astype(np.uint64), kit.barrett)
+        assert np.array_equal(out.astype(np.int64), (a - b) % q)
+
+    def test_mul_mod_is_redc_product(self, q_and_width, rng):
+        q, width = q_and_width
+        kit = ReductionKit.for_modulus(q)
+        reducer = kit.montgomery_reducer()
+        block = PimBlock(bitwidth=width)
+        a = rng.integers(0, q, 64).astype(np.uint64)
+        b = rng.integers(0, q, 64).astype(np.uint64)
+        out = block.mul_mod(a, b, kit.montgomery)
+        expected = np.array(
+            [reducer.redc(int(x) * int(y)) for x, y in zip(a, b)], dtype=np.uint64
+        )
+        assert np.array_equal(out, expected)
+
+    def test_sub_biased_requires_headroom(self):
+        block = PimBlock(bitwidth=4)
+        with pytest.raises(OverflowError):
+            block.sub_biased(np.array([10], dtype=np.uint64),
+                             np.array([1], dtype=np.uint64), bias=10)
+
+    def test_sub_biased_detects_underflow(self):
+        block = PimBlock(bitwidth=16)
+        with pytest.raises(ArithmeticError):
+            block.sub_biased(np.array([0], dtype=np.uint64),
+                             np.array([100], dtype=np.uint64), bias=5)
+
+    def test_vector_exceeding_rows_rejected(self):
+        block = PimBlock(bitwidth=16, rows=4)
+        kit = ReductionKit.for_modulus(7681)
+        with pytest.raises(MemoryError):
+            block.add(np.zeros(5, dtype=np.uint64), np.zeros(5, dtype=np.uint64))
+        with pytest.raises(MemoryError):
+            block.reduce(np.zeros(5, dtype=np.uint64), kit.barrett)
+
+
+class TestBlockCycleAccounting:
+    def test_add_charges_formula(self):
+        block = PimBlock(bitwidth=16)
+        block.add(np.array([1], dtype=np.uint64), np.array([2], dtype=np.uint64))
+        assert block.counter.cycles == add_cycles(16)
+
+    def test_sub_biased_charges_plain_sub(self):
+        block = PimBlock(bitwidth=16)
+        block.sub_biased(np.array([5], dtype=np.uint64),
+                         np.array([3], dtype=np.uint64), bias=7681)
+        assert block.counter.cycles == sub_cycles(16)
+
+    def test_mul_charges_formula(self):
+        block = PimBlock(bitwidth=32)
+        block.mul(np.array([3], dtype=np.uint64), np.array([4], dtype=np.uint64))
+        assert block.counter.cycles == mul_cycles_cryptopim(32)
+
+    def test_row_count_does_not_change_cycles(self):
+        one = PimBlock(bitwidth=16)
+        many = PimBlock(bitwidth=16)
+        one.add(np.array([1], dtype=np.uint64), np.array([2], dtype=np.uint64))
+        vals = np.arange(512, dtype=np.uint64)
+        many.add(vals, vals)
+        assert one.counter.cycles == many.counter.cycles
+        assert many.counter.row_events == 512 * one.counter.row_events

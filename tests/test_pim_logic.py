@@ -1,0 +1,125 @@
+"""Unit tests for the in-memory gate library and closed-form costs."""
+
+import numpy as np
+import pytest
+
+from repro.pim.logic import (
+    GATE_CYCLES,
+    CycleCounter,
+    Gate,
+    add_cycles,
+    gate_fn,
+    mul_cycles_baseline35,
+    mul_cycles_cryptopim,
+    sub_cycles,
+    transfer_cycles,
+)
+
+
+class TestGateFunctions:
+    @pytest.mark.parametrize("gate,expected", [
+        (Gate.NOT, [True, False]),
+        (Gate.COPY, [False, True]),
+    ])
+    def test_unary(self, gate, expected):
+        a = np.array([False, True])
+        assert gate_fn(gate)(a).tolist() == expected
+
+    def test_binary_truth_tables(self):
+        a = np.array([False, False, True, True])
+        b = np.array([False, True, False, True])
+        assert gate_fn(Gate.NOR2)(a, b).tolist() == [True, False, False, False]
+        assert gate_fn(Gate.OR2)(a, b).tolist() == [False, True, True, True]
+        assert gate_fn(Gate.NAND2)(a, b).tolist() == [True, True, True, False]
+        assert gate_fn(Gate.AND2)(a, b).tolist() == [False, False, False, True]
+        assert gate_fn(Gate.XOR2)(a, b).tolist() == [False, True, True, False]
+
+    def test_minority3(self):
+        # minority = NOT(majority)
+        cases = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+        a = np.array([x[0] for x in cases], dtype=bool)
+        b = np.array([x[1] for x in cases], dtype=bool)
+        c = np.array([x[2] for x in cases], dtype=bool)
+        out = gate_fn(Gate.MIN3)(a, b, c)
+        expected = [not (x + y + z >= 2) for x, y, z in cases]
+        assert out.tolist() == expected
+
+    def test_copy_is_independent(self):
+        a = np.array([True, False])
+        out = gate_fn(Gate.COPY)(a)
+        out[0] = False
+        assert a[0]  # original untouched
+
+    def test_every_gate_has_a_cost(self):
+        assert set(GATE_CYCLES) == set(Gate)
+        assert all(c >= 1 for c in GATE_CYCLES.values())
+
+
+class TestClosedForms:
+    """The paper's published cycle formulas (Section III-B.2)."""
+
+    def test_add(self):
+        assert add_cycles(16) == 97
+        assert add_cycles(32) == 193
+
+    def test_sub(self):
+        assert sub_cycles(16) == 113
+        assert sub_cycles(32) == 225
+
+    def test_mul_cryptopim(self):
+        assert mul_cycles_cryptopim(16) == 1483
+        assert mul_cycles_cryptopim(32) == 6291
+
+    def test_mul_baseline(self):
+        assert mul_cycles_baseline35(16) == 3110
+        assert mul_cycles_baseline35(32) == 12870
+
+    def test_cryptopim_mul_always_beats_baseline(self):
+        for n in range(2, 65):
+            assert mul_cycles_cryptopim(n) < mul_cycles_baseline35(n)
+
+    def test_transfer(self):
+        # 3 * bitwidth: one pass per switch connection type
+        assert transfer_cycles(16) == 48
+        assert transfer_cycles(32) == 96
+
+    @pytest.mark.parametrize("fn", [add_cycles, sub_cycles,
+                                    mul_cycles_cryptopim, transfer_cycles])
+    def test_invalid_width(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+
+class TestCycleCounter:
+    def test_charge_accumulates(self):
+        c = CycleCounter()
+        c.charge(10, active_rows=4)
+        c.charge(5, active_rows=2)
+        assert c.cycles == 15
+        assert c.row_events == 50
+
+    def test_transfer_tracked_separately(self):
+        c = CycleCounter()
+        c.charge_transfer(48, active_rows=256)
+        assert c.cycles == 48
+        assert c.transfers == 48 * 256
+        assert c.row_events == 48 * 256
+
+    def test_merge(self):
+        a, b = CycleCounter(), CycleCounter()
+        a.charge(10, 2)
+        b.charge_transfer(5, 3)
+        a.merge(b)
+        assert a.cycles == 15
+        assert a.row_events == 35
+        assert a.transfers == 15
+
+    def test_reset(self):
+        c = CycleCounter()
+        c.charge(10, 2)
+        c.reset()
+        assert c.cycles == c.row_events == c.transfers == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CycleCounter().charge(-1)

@@ -1,0 +1,143 @@
+"""Tests pinning the analytic pipeline model to Table II."""
+
+import math
+
+import pytest
+
+from repro.core.config import CryptoPimConfig, PipelineVariant
+from repro.core.pipeline import PipelineModel
+from repro.ntt.params import PAPER_DEGREES, params_for_degree
+
+#: Table II, CryptoPIM-pipelined rows (n -> latency us, throughput /s)
+TABLE2_CRYPTOPIM = {
+    256: (68.67, 553311),
+    512: (75.90, 553311),
+    1024: (83.12, 553311),
+    2048: (363.60, 137511),
+    4096: (392.69, 137511),
+    8192: (421.78, 137511),
+    16384: (450.87, 137511),
+    32768: (479.95, 137511),
+}
+
+#: Table II energy column (uJ)
+TABLE2_ENERGY = {
+    256: 2.58, 512: 5.02, 1024: 11.04, 2048: 82.57,
+    4096: 178.62, 8192: 384.17, 16384: 822.21, 32768: 1752.15,
+}
+
+
+class TestStageLatency:
+    def test_16bit_stage_is_1643(self):
+        """Section III-D.1: the final CryptoPIM pipeline stage latency."""
+        assert PipelineModel.for_degree(256).stage_cycles == 1643
+
+    def test_32bit_stage_is_6611(self):
+        assert PipelineModel.for_degree(2048).stage_cycles == 6611
+
+    def test_multiplier_block_is_slowest(self):
+        for n in (256, 2048):
+            model = PipelineModel.for_degree(n)
+            assert "/mul" in model.slowest_block().label
+
+    def test_figure4_variant_ordering(self):
+        """Fig. 4: area-efficient > naive > cryptopim stage latency."""
+        stages = {
+            v: PipelineModel.for_degree(256, variant=v).stage_cycles
+            for v in PipelineVariant
+        }
+        assert (stages[PipelineVariant.AREA_EFFICIENT]
+                > stages[PipelineVariant.NAIVE]
+                > stages[PipelineVariant.CRYPTOPIM])
+
+
+class TestTable2Latency:
+    @pytest.mark.parametrize("n", PAPER_DEGREES)
+    def test_pipelined_latency_matches_paper(self, n):
+        """Latency must reproduce Table II within 0.1%."""
+        model = PipelineModel.for_degree(n)
+        paper_us, _ = TABLE2_CRYPTOPIM[n]
+        assert model.latency_us(pipelined=True) == pytest.approx(paper_us, rel=1e-3)
+
+    @pytest.mark.parametrize("n", PAPER_DEGREES)
+    def test_pipelined_throughput_matches_paper(self, n):
+        model = PipelineModel.for_degree(n)
+        _, paper_tput = TABLE2_CRYPTOPIM[n]
+        assert model.throughput_per_s(True) == pytest.approx(paper_tput, rel=1e-4)
+
+    def test_throughput_plateaus_per_bitwidth(self):
+        """Same stage latency => same throughput for every degree of one
+        bit-width (the paper's observation in Section IV-B)."""
+        tputs_16 = {PipelineModel.for_degree(n).throughput_per_s(True)
+                    for n in (256, 512, 1024)}
+        tputs_32 = {PipelineModel.for_degree(n).throughput_per_s(True)
+                    for n in (2048, 32768)}
+        assert len(tputs_16) == 1 and len(tputs_32) == 1
+
+    def test_depth_formula(self):
+        for n in PAPER_DEGREES:
+            model = PipelineModel.for_degree(n)
+            assert model.depth == 4 * int(math.log2(n)) + 6
+
+
+class TestTable2Energy:
+    @pytest.mark.parametrize("n", PAPER_DEGREES)
+    def test_energy_within_20pct_of_paper(self, n):
+        """One calibration point (n=256); every other row is predicted and
+        must land within 20% (observed: <=16%)."""
+        model = PipelineModel.for_degree(n)
+        energy = model.report(pipelined=True).energy_uj
+        assert energy == pytest.approx(TABLE2_ENERGY[n], rel=0.20)
+
+    def test_calibration_point_exact(self):
+        model = PipelineModel.for_degree(256)
+        assert model.report(True).energy_uj == pytest.approx(2.58, rel=0.02)
+
+    def test_energy_grows_with_degree(self):
+        energies = [PipelineModel.for_degree(n).report(True).energy_uj
+                    for n in PAPER_DEGREES]
+        assert energies == sorted(energies)
+
+    def test_pipelining_energy_overhead_small(self):
+        """Pipelined design costs only ~1.6% more energy (Section IV-B)."""
+        for n in (256, 2048):
+            pipelined = PipelineModel.for_degree(n).report(True).energy_uj
+            non_pipelined = PipelineModel.for_degree(
+                n, variant=PipelineVariant.AREA_EFFICIENT
+            ).report(False).energy_uj
+            overhead = pipelined / non_pipelined - 1.0
+            assert 0.0 < overhead < 0.05
+
+
+class TestNonPipelined:
+    def test_np_latency_is_block_sum(self):
+        model = PipelineModel.for_degree(256)
+        assert model.latency_cycles(False) == sum(model.block_latencies())
+
+    def test_pipelining_raises_latency_but_boosts_throughput(self):
+        for n in (256, 4096):
+            p = PipelineModel.for_degree(n)
+            np_model = PipelineModel.for_degree(
+                n, variant=PipelineVariant.AREA_EFFICIENT)
+            assert p.latency_us(True) > np_model.latency_us(False)
+            assert p.throughput_per_s(True) > 20 * np_model.throughput_per_s(False)
+
+    def test_total_block_cycles_counts_multiplicity(self):
+        model = PipelineModel.for_degree(64)
+        assert model.total_block_cycles() > model.latency_cycles(False)
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = PipelineModel.for_degree(512).report(True)
+        assert report.n == 512
+        assert report.q == 12289
+        assert report.bitwidth == 16
+        assert report.pipelined
+        assert report.stage_cycles == 1643
+        assert "pipelined" in str(report)
+
+    def test_config_construction(self):
+        config = CryptoPimConfig(params=params_for_degree(256))
+        model = PipelineModel(config)
+        assert model.config.n == 256

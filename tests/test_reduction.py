@@ -1,0 +1,142 @@
+"""Unit tests for the math-level Barrett/Montgomery reducers and NAF."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntt.reduction import BarrettReducer, MontgomeryReducer, signed_digit_terms
+
+PAPER_PRIMES = (7681, 12289, 786433)
+
+
+class TestSignedDigitTerms:
+    def test_paper_primes_are_weight_three(self):
+        # the sparseness Algorithm 3 exploits
+        assert signed_digit_terms(7681) == [(1, 0), (-1, 9), (1, 13)]
+        assert signed_digit_terms(12289) == [(1, 0), (-1, 12), (1, 14)]
+        assert signed_digit_terms(786433) == [(1, 0), (-1, 18), (1, 20)]
+
+    def test_zero_and_one(self):
+        assert signed_digit_terms(0) == []
+        assert signed_digit_terms(1) == [(1, 0)]
+
+    def test_power_of_two(self):
+        assert signed_digit_terms(1024) == [(1, 10)]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            signed_digit_terms(-5)
+
+    @given(st.integers(0, 2**40))
+    def test_reconstruction(self, c):
+        terms = signed_digit_terms(c)
+        assert sum(sign << shift for sign, shift in terms) == c
+
+    @given(st.integers(1, 2**40))
+    def test_non_adjacent_property(self, c):
+        shifts = sorted(s for _, s in signed_digit_terms(c))
+        assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+    @given(st.integers(1, 2**30))
+    def test_minimal_weight_vs_binary(self, c):
+        # NAF weight never exceeds the plain binary Hamming weight
+        assert len(signed_digit_terms(c)) <= bin(c).count("1")
+
+
+class TestBarrettReducer:
+    @pytest.mark.parametrize("q", PAPER_PRIMES)
+    def test_exact_reduction_sampled(self, q, rng):
+        reducer = BarrettReducer(q)
+        for a in rng.integers(0, q * q, 500):
+            assert reducer.reduce(int(a)) == int(a) % q
+
+    def test_paper_constants(self):
+        # q=12289, k=16 gives the Algorithm 3 multiplier m=5
+        assert BarrettReducer(12289, k=16).m == 5
+        assert BarrettReducer(7681, k=13).m == 1
+        assert BarrettReducer(786433, k=20).m == 1
+
+    def test_lazy_is_congruent(self, rng):
+        reducer = BarrettReducer(12289, k=16)
+        for a in rng.integers(0, 2**16, 200):
+            lazy = reducer.reduce_lazy(int(a))
+            assert lazy % 12289 == int(a) % 12289
+            assert lazy >= 0
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(12289).reduce_lazy(-1)
+
+    def test_too_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(7681, k=5)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(1)
+
+    @given(st.integers(0, 2**26))
+    @settings(max_examples=300)
+    def test_exact_full_range_12289(self, a):
+        reducer = BarrettReducer(12289)
+        assert reducer.reduce(a) == a % 12289
+
+    def test_correction_bound_small(self):
+        # for the defaults the estimate is off by at most a few q
+        for q in PAPER_PRIMES:
+            reducer = BarrettReducer(q)
+            assert reducer.correction_bound((q - 1) ** 2) <= 2
+
+
+class TestMontgomeryReducer:
+    @pytest.mark.parametrize("q", PAPER_PRIMES)
+    def test_redc_definition(self, q, rng):
+        reducer = MontgomeryReducer(q)
+        r_inv = pow(reducer.R, -1, q)
+        for a in rng.integers(0, q * q, 300):
+            assert reducer.redc(int(a)) == (int(a) * r_inv) % q
+
+    def test_paper_q_prime_12289(self):
+        # the paper's Algorithm 3 line 15 constant: q' = 12287 for R=2^18
+        assert MontgomeryReducer(12289, r_bits=18).q_prime == 12287
+
+    def test_default_r_bits_follow_paper(self):
+        assert MontgomeryReducer(7681).r_bits == 18
+        assert MontgomeryReducer(12289).r_bits == 18
+        assert MontgomeryReducer(786433).r_bits == 32
+
+    def test_domain_roundtrip(self, rng):
+        for q in PAPER_PRIMES:
+            reducer = MontgomeryReducer(q)
+            for a in rng.integers(0, q, 100):
+                assert reducer.from_montgomery(reducer.to_montgomery(int(a))) == int(a)
+
+    def test_montgomery_multiplication(self, rng):
+        q = 12289
+        reducer = MontgomeryReducer(q)
+        for _ in range(100):
+            a, b = (int(x) for x in rng.integers(0, q, 2))
+            am, bm = reducer.to_montgomery(a), reducer.to_montgomery(b)
+            assert reducer.from_montgomery(reducer.mul(am, bm)) == (a * b) % q
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryReducer(12288)
+
+    def test_r_not_exceeding_q_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryReducer(12289, r_bits=10)
+
+    def test_out_of_range_input_rejected(self):
+        reducer = MontgomeryReducer(7681)
+        with pytest.raises(ValueError):
+            reducer.redc(reducer.R * 7681)
+        with pytest.raises(ValueError):
+            reducer.redc(-1)
+
+    @given(st.integers(0, 12289 * (2**18) - 1))
+    @settings(max_examples=300)
+    def test_redc_range_and_congruence(self, a):
+        reducer = MontgomeryReducer(12289, r_bits=18)
+        out = reducer.redc(a)
+        assert 0 <= out < 12289
+        assert (out * reducer.R - a) % 12289 == 0

@@ -1,0 +1,158 @@
+"""Unit tests for Algorithm 3 program generation (and Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntt.reduction import MontgomeryReducer
+from repro.pim.reduction_programs import (
+    PAPER_MODULI,
+    TABLE1_PAPER,
+    ReductionKit,
+    barrett_program,
+    emit_constant_multiply,
+    montgomery_program,
+    table1_costs,
+)
+from repro.pim.shiftadd import INPUT, ShiftAddProgram
+
+
+class TestConstantMultiply:
+    @pytest.mark.parametrize("constant", [0, 1, 5, 7681, 12289, 786433, 0xDEADBEEF])
+    def test_exact(self, constant):
+        prog = ShiftAddProgram(q=3, input_bound=1000)
+        emit_constant_multiply(prog, "out", INPUT, constant)
+        for a in (0, 1, 17, 1000):
+            assert prog.run(a) == a * constant
+
+    def test_sparse_prime_costs_two_ops(self):
+        # weight-3 NAF -> leading load + 2 add/subs
+        prog = ShiftAddProgram(q=3, input_bound=100)
+        emit_constant_multiply(prog, "out", INPUT, 7681)
+        assert prog.cost().adds + prog.cost().subs == 2
+
+
+class TestBarrettPrograms:
+    @pytest.mark.parametrize("q", PAPER_MODULI)
+    def test_exact_over_post_addition_range(self, q):
+        """Barrett runs after adds: inputs in [0, 2q-2], output exact."""
+        prog = barrett_program(q, input_bound=2 * (q - 1))
+        xs = np.linspace(0, 2 * (q - 1), 4000).astype(np.int64).astype(object)
+        assert (prog.run(xs).astype(np.int64) == xs.astype(np.int64) % q).all()
+
+    @pytest.mark.parametrize("q", PAPER_MODULI)
+    def test_exact_at_boundaries(self, q):
+        prog = barrett_program(q, input_bound=2 * (q - 1))
+        for a in (0, 1, q - 1, q, q + 1, 2 * q - 2):
+            assert prog.run(a) == a % q
+
+    def test_k_search_picks_small_k(self):
+        """The automatic k search recovers the paper's small constants."""
+        prog = barrett_program(7681, input_bound=2 * 7680)
+        assert prog.meta["k"] <= 16
+
+    def test_explicit_k_respected(self):
+        prog = barrett_program(12289, input_bound=2 * 12288, k=16)
+        assert prog.meta["k"] == 16
+        assert prog.run(12289 + 5) == 5
+
+    def test_wide_input_program(self):
+        """Also valid for full-product inputs (the generic case)."""
+        q = 12289
+        prog = barrett_program(q, input_bound=(q - 1) ** 2)
+        rng = np.random.default_rng(5)
+        xs = rng.integers(0, (q - 1) ** 2, 2000).astype(object)
+        assert (prog.run(xs).astype(np.int64) == xs.astype(np.int64) % q).all()
+
+
+class TestMontgomeryPrograms:
+    @pytest.mark.parametrize("q", PAPER_MODULI)
+    def test_redc_semantics(self, q, rng):
+        prog = montgomery_program(q)
+        reducer = MontgomeryReducer(q, prog.meta["r_bits"])
+        xs = rng.integers(0, (q - 1) ** 2, 2000)
+        got = prog.run(xs.astype(object))
+        expected = np.array([reducer.redc(int(x)) for x in xs], dtype=np.uint64)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("q", PAPER_MODULI)
+    def test_output_fully_reduced(self, q):
+        prog = montgomery_program(q)
+        for a in (0, q - 1, (q - 1) ** 2):
+            assert 0 <= prog.run(a) < q
+
+    def test_explicit_r_bits(self):
+        prog = montgomery_program(12289, r_bits=18)
+        assert prog.meta["r_bits"] == 18
+        reducer = MontgomeryReducer(12289, 18)
+        assert prog.run(12345678) == reducer.redc(12345678)
+
+    def test_r_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            montgomery_program(12289, input_bound=(12288) ** 2, r_bits=13)
+
+    def test_width_optimisation_saves_cycles(self):
+        for q in PAPER_MODULI:
+            prog = montgomery_program(q)
+            assert prog.cost().cycles < prog.cost(width_optimised=False).cycles
+
+
+class TestReductionKit:
+    def test_cached(self):
+        assert ReductionKit.for_modulus(7681) is ReductionKit.for_modulus(7681)
+
+    @pytest.mark.parametrize("q", PAPER_MODULI)
+    def test_montgomery_bound_covers_biased_butterfly(self, q):
+        """The butterfly feeds (2q-2)*(q-1) products into Montgomery."""
+        kit = ReductionKit.for_modulus(q)
+        assert kit.montgomery.input_bound >= (2 * q - 2) * (q - 1)
+
+    def test_reducer_agrees_with_program_r(self):
+        kit = ReductionKit.for_modulus(12289)
+        assert kit.montgomery_reducer().r_bits == kit.montgomery_r_bits
+
+
+class TestTable1:
+    def test_all_cells_present(self):
+        costs = table1_costs()
+        assert set(costs) == {"barrett", "montgomery"}
+        for kind in costs:
+            assert set(costs[kind]) == set(PAPER_MODULI)
+
+    def test_shape_montgomery_exceeds_barrett(self):
+        """Montgomery (post-multiply, wide input) always costs more than
+        Barrett (post-add, narrow input) - visible in Table I."""
+        costs = table1_costs()
+        for q in PAPER_MODULI:
+            assert costs["montgomery"][q].cycles > costs["barrett"][q].cycles
+
+    def test_shape_large_modulus_costs_most(self):
+        costs = table1_costs()
+        for kind in ("barrett", "montgomery"):
+            assert costs[kind][786433].cycles > costs[kind][12289].cycles
+
+    def test_within_2x_of_paper(self):
+        """Model cycles within 2x of every legible Table I entry (the
+        paper's exact per-op accounting is not published; DESIGN.md)."""
+        costs = table1_costs()
+        for kind, per_q in TABLE1_PAPER.items():
+            for q, paper in per_q.items():
+                if paper is None:
+                    continue
+                ratio = costs[kind][q].cycles / paper
+                assert 0.5 <= ratio <= 2.0, (kind, q, ratio)
+
+
+@given(st.integers(0, 2 * 12288))
+@settings(max_examples=200)
+def test_barrett_12289_property(a):
+    prog = ReductionKit.for_modulus(12289).barrett
+    assert prog.run(a) == a % 12289
+
+
+@given(st.integers(0, (2 * 7681 - 2) * 7680))
+@settings(max_examples=200)
+def test_montgomery_7681_property(a):
+    kit = ReductionKit.for_modulus(7681)
+    reducer = kit.montgomery_reducer()
+    assert kit.montgomery.run(a) == reducer.redc(a)

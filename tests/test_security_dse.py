@@ -1,0 +1,146 @@
+"""Tests for security estimation, regression harness, DSE and interconnect."""
+
+import pytest
+
+from repro.arch.interconnect import (
+    bank_level_strides,
+    latency_with_interbank_penalty,
+    stage_traffic,
+)
+from repro.core.dse import DesignPoint, enumerate_designs, pareto_front
+from repro.crypto.security import (
+    bkz_cost_bits,
+    estimate_rlwe_security,
+    paper_parameter_review,
+    required_hermite_factor,
+)
+from repro.eval.regression import GOLDEN_CHECKS, run_regressions
+
+
+class TestSecurityEstimates:
+    def test_security_grows_with_dimension(self):
+        review = paper_parameter_review()
+        bits = [review[n].bits for n in sorted(review)]
+        assert bits == sorted(bits)
+
+    def test_newhope_1024_strong(self):
+        est = estimate_rlwe_security(1024, 12289, 1.0)
+        assert est.bits > 128
+        assert not est.broken
+
+    def test_small_n_huge_q_broken(self):
+        est = estimate_rlwe_security(64, 2**30, 1.0)
+        assert est.broken
+
+    def test_larger_noise_helps(self):
+        weak = estimate_rlwe_security(512, 12289, 0.5)
+        strong = estimate_rlwe_security(512, 12289, 3.0)
+        assert strong.bits > weak.bits
+
+    def test_bkz_rule(self):
+        assert bkz_cost_bits(1.0) == float("inf")
+        assert bkz_cost_bits(1.001) > bkz_cost_bits(1.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_hermite_factor(0, 12289, 1.0)
+        with pytest.raises(ValueError):
+            required_hermite_factor(512, 12289, 1.0, epsilon=2.0)
+
+    def test_str(self):
+        assert "delta" in str(estimate_rlwe_security(512, 12289, 1.0))
+
+
+class TestRegressionHarness:
+    def test_no_drift(self):
+        """The golden values must hold - THE guard against silent model
+        changes."""
+        results = run_regressions()
+        drifted = [r for r in results if not r.ok]
+        assert not drifted, "\n".join(str(r) for r in drifted)
+
+    def test_covers_key_quantities(self):
+        names = {c.name for c in GOLDEN_CHECKS}
+        assert "stage_cycles_16bit" in names
+        assert "energy_uj_n256" in names
+        assert len(names) == len(GOLDEN_CHECKS) >= 12
+
+    def test_result_str(self):
+        assert "expected" in str(run_regressions()[0])
+
+
+class TestDesignSpaceExploration:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return enumerate_designs(1024)
+
+    def test_grid_size(self, points):
+        assert len(points) == 3 * 2 * 2  # variants x gates x pipelining
+
+    def test_paper_design_on_pareto_front(self, points):
+        front = pareto_front(points)
+        assert any(p.variant == "cryptopim" and p.gates == "felix"
+                   and p.pipelined for p in front)
+
+    def test_magic_never_on_front(self, points):
+        """MAGIC gates are strictly worse here (same area, ~2x slower)."""
+        front = pareto_front(points)
+        assert all(p.gates == "felix" for p in front)
+
+    def test_front_is_non_dominated(self, points):
+        front = pareto_front(points)
+        for p in front:
+            assert not any(other.dominates(p) for other in points)
+
+    def test_dominance_definition(self):
+        a = DesignPoint("v", "g", True, 100, 1.0, 1.0, 1.0)
+        b = DesignPoint("v", "g", True, 50, 2.0, 2.0, 2.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_labels(self, points):
+        assert any(p.label() == "cryptopim/felix/P" for p in points)
+
+
+class TestInterconnect:
+    def test_small_degree_never_crosses(self):
+        assert all(not t.crosses_banks for t in stage_traffic(512))
+        assert bank_level_strides(512) == []
+
+    def test_32k_crossing_profile(self):
+        traffic = stage_traffic(32768)
+        crossing = [t for t in traffic if t.crosses_banks]
+        # distances 512..16384: stages 9..14
+        assert [t.stage for t in crossing] == list(range(9, 15))
+        assert bank_level_strides(32768) == [1, 2, 4, 8, 16, 32]
+
+    def test_bank_stride_is_xor_offset(self):
+        """Element e's partner lives in bank (e//512) ^ (d//512): verify
+        exhaustively for one cross-bank stage."""
+        n, d, width = 4096, 1024, 512
+        for e in range(0, n, 97):
+            partner = e ^ d
+            assert partner // width == (e // width) ^ (d // width)
+
+    def test_unit_penalty_reproduces_paper(self):
+        from repro.core.pipeline import PipelineModel
+        base = PipelineModel.for_degree(8192).latency_us(True)
+        assert latency_with_interbank_penalty(8192, 1.0) == pytest.approx(base)
+
+    def test_penalty_monotone(self):
+        lats = [latency_with_interbank_penalty(8192, f) for f in (1, 2, 4, 8)]
+        assert lats == sorted(lats)
+
+    def test_penalty_bounded_influence(self):
+        """Even 8x costlier bank hops move 32k latency by ~12% - transfers
+        are not the bottleneck (the multiplier is)."""
+        base = latency_with_interbank_penalty(32768, 1.0)
+        heavy = latency_with_interbank_penalty(32768, 8.0)
+        assert heavy / base < 1.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_traffic(100)
+        with pytest.raises(ValueError):
+            latency_with_interbank_penalty(8192, 0.5)

@@ -1,0 +1,122 @@
+"""Tests for wire serialization and cycle attribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import PipelineModel
+from repro.crypto.rlwe import RlweScheme
+from repro.crypto.serialization import (
+    deserialize_ciphertext,
+    deserialize_public_key,
+    pack_coefficients,
+    polynomial_from_bytes,
+    polynomial_to_bytes,
+    serialize_ciphertext,
+    serialize_public_key,
+    unpack_coefficients,
+    wire_sizes,
+)
+from repro.ntt.params import params_for_degree
+from repro.ntt.polynomial import Polynomial
+from repro.core.tracing import attribute_cycles, dominance_ratio
+
+
+class TestBitPacking:
+    def test_roundtrip(self, rng):
+        values = rng.integers(0, 2**13, 100).astype(np.uint64)
+        packed = pack_coefficients(values, 13)
+        assert np.array_equal(unpack_coefficients(packed, 100, 13), values)
+        assert len(packed) == (100 * 13 + 7) // 8
+
+    def test_dense_packing_beats_byte_alignment(self):
+        values = np.zeros(256, dtype=np.uint64)
+        # 13-bit packing: 416 bytes vs 512 for uint16 storage
+        assert len(pack_coefficients(values, 13)) == 416
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            pack_coefficients(np.array([16], dtype=np.uint64), 4)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            pack_coefficients(np.zeros(4, dtype=np.uint64), 0)
+        with pytest.raises(ValueError):
+            unpack_coefficients(b"\x00", 1, 40)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_coefficients(b"\x00", 10, 13)
+
+    @given(st.lists(st.integers(0, 2**19), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        packed = pack_coefficients(arr, 20)
+        assert np.array_equal(unpack_coefficients(packed, len(arr), 20), arr)
+
+
+class TestPolynomialWire:
+    def test_roundtrip(self, rng):
+        p = params_for_degree(512)
+        poly = Polynomial(rng.integers(0, p.q, 512), p)
+        assert polynomial_from_bytes(polynomial_to_bytes(poly)) == poly
+
+    def test_size_matches_theory(self, rng):
+        for n in (256, 1024, 4096):
+            p = params_for_degree(n)
+            poly = Polynomial(rng.integers(0, p.q, n), p)
+            assert len(polynomial_to_bytes(poly)) == wire_sizes(n)[0]
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            polynomial_from_bytes(b"XXXX" + b"\x00" * 30)
+
+
+class TestKeyAndCiphertextWire:
+    def test_public_key_roundtrip(self):
+        scheme = RlweScheme.for_degree(256, rng=np.random.default_rng(1))
+        pk, _ = scheme.keygen()
+        restored = deserialize_public_key(serialize_public_key(pk))
+        assert restored.a == pk.a and restored.b == pk.b
+
+    def test_ciphertext_roundtrip_decrypts(self, rng):
+        scheme = RlweScheme.for_degree(256, rng=np.random.default_rng(2))
+        pk, sk = scheme.keygen()
+        message = rng.integers(0, 2, 256)
+        wire = serialize_ciphertext(scheme.encrypt(pk, message))
+        assert np.array_equal(
+            scheme.decrypt(sk, deserialize_ciphertext(wire)), message)
+
+    def test_rlwe_key_is_kilobytes_not_megabytes(self):
+        """The intro's practicality point in bytes."""
+        _, pk_size, _ = wire_sizes(1024)
+        assert pk_size < 4 * 1024  # vs ~2 MB for the LWE matrix
+
+
+class TestCycleAttribution:
+    def test_totals_match_model(self):
+        model = PipelineModel.for_degree(256)
+        attribution = attribute_cycles(model)
+        assert attribution.grand_total == model.total_block_cycles()
+
+    def test_multiplication_dominates(self):
+        """Section IV-B's premise, reproduced by category."""
+        for n in (256, 2048):
+            attribution = attribute_cycles(PipelineModel.for_degree(n))
+            assert attribution.share("multiply") > attribution.share("reduce")
+            assert attribution.share("multiply") > 0.4
+
+    def test_32bit_less_balanced_than_16bit(self):
+        """The pipeline-balance asymmetry behind Figure 5's overhead gap."""
+        small = dominance_ratio(PipelineModel.for_degree(1024))
+        large = dominance_ratio(PipelineModel.for_degree(2048))
+        assert large > 2 * small
+
+    def test_shares_sum_to_one(self):
+        attribution = attribute_cycles(PipelineModel.for_degree(512))
+        assert sum(attribution.share(c) for c in attribution.totals) == pytest.approx(1.0)
+
+    def test_breakdown_renders(self):
+        text = attribute_cycles(PipelineModel.for_degree(256)).breakdown()
+        assert "multiply" in text and "TOTAL" in text

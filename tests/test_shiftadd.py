@@ -1,0 +1,141 @@
+"""Unit tests for the shift-add reduction program IR."""
+
+import numpy as np
+import pytest
+
+from repro.pim.logic import add_cycles, sub_cycles
+from repro.pim.shiftadd import INPUT, Op, ShiftAddProgram
+
+
+def _double_program(q=17, bound=100):
+    """out = 2*a + a = 3*a, then reduced manually - a toy program."""
+    prog = ShiftAddProgram(q=q, input_bound=bound, name="toy")
+    prog.load("t", INPUT, shift=1)
+    prog.add("out", "t", INPUT)
+    return prog
+
+
+class TestOpValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Op("frobnicate", "x", "y")
+
+    def test_add_needs_two_sources(self):
+        with pytest.raises(ValueError):
+            Op("add", "x", "y")
+
+    def test_addc_needs_carry(self):
+        with pytest.raises(ValueError):
+            Op("addc", "x", "y", "z")
+
+    def test_negative_shift(self):
+        with pytest.raises(ValueError):
+            Op("load", "x", "y", shift=-1)
+
+
+class TestExecution:
+    def test_scalar_and_vector_agree(self):
+        prog = _double_program()
+        assert prog.run(7) == 21
+        out = prog.run(np.array([7, 9, 0], dtype=object))
+        assert out.tolist() == [21, 27, 0]
+
+    def test_input_bound_enforced(self):
+        prog = _double_program(bound=10)
+        with pytest.raises(ValueError):
+            prog.run(11)
+        with pytest.raises(ValueError):
+            prog.run(np.array([5, 11], dtype=object))
+
+    def test_underflow_detected(self):
+        prog = ShiftAddProgram(q=17, input_bound=10, name="bad")
+        prog.load("big", INPUT, shift=4)
+        prog.sub("out", INPUT, "big")  # a - 16a < 0
+        with pytest.raises(ArithmeticError):
+            prog.run(3)
+
+    def test_missing_output_register(self):
+        prog = ShiftAddProgram(q=17, input_bound=10)
+        prog.load("t", INPUT)
+        with pytest.raises(KeyError):
+            prog.run(5)
+
+    def test_mask_and_rshift(self):
+        prog = ShiftAddProgram(q=17, input_bound=255)
+        prog.mask("low", INPUT, 4)
+        prog.rshift("hi", INPUT, 4)
+        prog.add("out", "hi", "low")
+        assert prog.run(0xAB) == 0xA + 0xB
+
+    def test_nzbit(self):
+        prog = ShiftAddProgram(q=17, input_bound=255)
+        prog.nzbit("flag", INPUT, 4)
+        prog.add("out", "flag", "flag")  # 2*flag
+        assert prog.run(0x10) == 0  # low nibble zero
+        assert prog.run(0x11) == 2
+
+    def test_addc(self):
+        prog = ShiftAddProgram(q=17, input_bound=255)
+        prog.nzbit("c", INPUT, 1)  # LSB set?
+        prog.addc("out", INPUT, INPUT, carry="c")
+        assert prog.run(4) == 8       # even: no carry
+        assert prog.run(5) == 11      # odd: 5+5+1
+
+    def test_csubq(self):
+        prog = ShiftAddProgram(q=17, input_bound=33)
+        prog.csubq("out", INPUT)
+        assert prog.run(16) == 16
+        assert prog.run(17) == 0
+        assert prog.run(33) == 16
+
+
+class TestCostModel:
+    def test_free_ops_cost_nothing(self):
+        prog = ShiftAddProgram(q=17, input_bound=255)
+        prog.load("a2", INPUT, shift=3)
+        prog.rshift("a3", "a2", 1)
+        prog.mask("out", "a3", 4)
+        assert prog.cost().cycles == 0
+        assert prog.cost().free_ops == 3
+
+    def test_add_cost_uses_operand_width(self):
+        prog = _double_program(bound=100)  # 3a <= 300: 9 bits
+        cost = prog.cost()
+        assert cost.adds == 1
+        assert cost.cycles == add_cycles(9)
+
+    def test_unoptimised_uses_full_width(self):
+        prog = ShiftAddProgram(q=17, input_bound=2**20 - 1)
+        prog.mask("m", INPUT, 4)
+        prog.add("out", "m", "m")
+        optimised = prog.cost().cycles
+        full = prog.cost(width_optimised=False).cycles
+        assert optimised == add_cycles(5)
+        assert full >= optimised
+
+    def test_demand_analysis_narrows_masked_chain(self):
+        """An op feeding only a mask is charged at the mask width - the
+        paper's 'compute only 17 LSBs' optimisation."""
+        prog = ShiftAddProgram(q=17, input_bound=2**30 - 1)
+        prog.add("wide", INPUT, INPUT)     # 31-bit result...
+        prog.mask("out", "wide", 8)        # ...but only 8 bits consumed
+        assert prog.cost().cycles == add_cycles(8)
+
+    def test_csubq_cost_is_a_sub(self):
+        prog = ShiftAddProgram(q=12289, input_bound=2 * 12289)
+        prog.csubq("out", INPUT)
+        assert prog.cost().subs == 1
+        assert prog.cost().cycles == sub_cycles((2 * 12289).bit_length())
+
+    def test_nzbit_costs_one_cycle(self):
+        prog = ShiftAddProgram(q=17, input_bound=255)
+        prog.nzbit("out", INPUT, 4)
+        assert prog.cost().cycles == 1
+
+    def test_op_widths_monotone_with_bound(self):
+        small = _double_program(bound=10)
+        large = _double_program(bound=10**6)
+        assert max(small.op_widths()) < max(large.op_widths())
+
+    def test_len(self):
+        assert len(_double_program()) == 2

@@ -1,0 +1,115 @@
+"""Unit tests for stage-block composition and the cost policy."""
+
+import pytest
+
+from repro.core.config import PipelineVariant
+from repro.core.stages import (
+    CostPolicy,
+    OpKind,
+    OpSpec,
+    RowScope,
+    StageBlock,
+    build_blocks,
+)
+
+
+class TestCostPolicy:
+    def test_paper_primitive_costs_16bit(self):
+        policy = CostPolicy(7681, 16)
+        assert policy.add() == 97
+        assert policy.sub() == 113
+        assert policy.mul() == 1483
+
+    def test_block_overhead_is_10n(self):
+        """3N switch transfer + 7N operand write (DESIGN.md inference)."""
+        assert CostPolicy(7681, 16).block_overhead() == 160
+        assert CostPolicy(786433, 32).block_overhead() == 320
+
+    def test_cycles_of_dispatch(self):
+        policy = CostPolicy(12289, 16)
+        assert policy.cycles_of(OpKind.MUL) == policy.mul()
+        assert policy.cycles_of(OpKind.BARRETT) == policy.barrett()
+
+    def test_reduce_chain_fits_under_multiplier(self):
+        """The Fig. 4c balance: Montgomery + add + sub + Barrett must fit
+        within the multiplier block at both bit-widths, otherwise the
+        pipelined stage latency would not be multiplier-bound."""
+        for q, width in ((7681, 16), (12289, 16), (786433, 32)):
+            policy = CostPolicy(q, width)
+            reduce_chain = (policy.montgomery() + policy.add()
+                            + policy.sub() + policy.barrett())
+            assert reduce_chain < policy.mul(), (q, width)
+
+
+class TestStageBlock:
+    def test_latency_includes_overhead(self):
+        policy = CostPolicy(7681, 16)
+        block = StageBlock("x", "fwd", (OpSpec(OpKind.MUL, RowScope.HALF),))
+        assert block.latency(policy) == policy.mul() + policy.block_overhead()
+
+    def test_row_events_respect_scope(self):
+        policy = CostPolicy(7681, 16)
+        half = StageBlock("h", "fwd", (OpSpec(OpKind.ADD, RowScope.HALF),))
+        full = StageBlock("f", "pre", (OpSpec(OpKind.ADD, RowScope.FULL),))
+        n = 256
+        assert half.op_row_events(policy, n) == policy.add() * 128
+        assert full.op_row_events(policy, n) == policy.add() * 256
+
+    def test_overhead_events_move_whole_vector(self):
+        policy = CostPolicy(7681, 16)
+        block = StageBlock("x", "fwd", ())
+        assert block.overhead_row_events(policy, 256) == 160 * 256
+
+
+class TestBuildBlocks:
+    def test_cryptopim_depth_formula(self):
+        """Pipeline depth = 4*log2(n) + 6 (DESIGN.md; matches Table II)."""
+        for n in (256, 1024, 32768):
+            log_n = n.bit_length() - 1
+            blocks = build_blocks(n, PipelineVariant.CRYPTOPIM)
+            assert len(blocks) == 4 * log_n + 6
+
+    def test_area_efficient_depth_formula(self):
+        for n in (256, 2048):
+            log_n = n.bit_length() - 1
+            blocks = build_blocks(n, PipelineVariant.AREA_EFFICIENT)
+            assert len(blocks) == 2 * log_n + 3
+
+    def test_naive_depth_matches_cryptopim(self):
+        # both split every phase into two blocks
+        for n in (256, 2048):
+            assert len(build_blocks(n, PipelineVariant.NAIVE)) == len(
+                build_blocks(n, PipelineVariant.CRYPTOPIM)
+            )
+
+    def test_pre_and_fwd_have_multiplicity_two(self):
+        blocks = build_blocks(256, PipelineVariant.CRYPTOPIM)
+        for block in blocks:
+            if block.phase in ("pre", "fwd"):
+                assert block.multiplicity == 2
+            else:
+                assert block.multiplicity == 1
+
+    def test_phases_in_dataflow_order(self):
+        blocks = build_blocks(64, PipelineVariant.CRYPTOPIM)
+        phases = [b.phase for b in blocks]
+        order = {"pre": 0, "fwd": 1, "pointwise": 2, "inv": 3, "post": 4}
+        ranks = [order[p] for p in phases]
+        assert ranks == sorted(ranks)
+
+    def test_every_butterfly_op_present_once_per_stage(self):
+        """Each NTT stage must contain exactly one of each butterfly op."""
+        blocks = build_blocks(64, PipelineVariant.CRYPTOPIM)
+        fwd = [b for b in blocks if b.phase == "fwd"]
+        stage_labels = {b.label.rsplit("/", 1)[0] for b in fwd}
+        assert len(stage_labels) == 6  # log2(64)
+        for label in stage_labels:
+            ops = [op.kind for b in fwd if b.label.startswith(label + "/")
+                   for op in b.ops]
+            assert sorted(ops, key=lambda k: k.value) == sorted(
+                [OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.BARRETT,
+                 OpKind.MONTGOMERY], key=lambda k: k.value)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            build_blocks(100, PipelineVariant.CRYPTOPIM)

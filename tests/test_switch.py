@@ -1,0 +1,86 @@
+"""Unit tests for the fixed-function switches (Section III-C, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.pim.logic import CycleCounter
+from repro.pim.switch import FixedFunctionSwitch, SwitchRouteError
+
+
+class TestConstruction:
+    def test_three_logic_switches_per_row(self):
+        assert FixedFunctionSwitch.SWITCHES_PER_ROW == 3
+
+    def test_allowed_offsets(self):
+        assert FixedFunctionSwitch(4, 16, rows=16).allowed_offsets() == (0, 4, -4)
+        assert FixedFunctionSwitch(0, 16, rows=16).allowed_offsets() == (0,)
+
+    def test_transfer_cost_is_3n(self):
+        assert FixedFunctionSwitch(1, 16).transfer_cycles == 48
+        assert FixedFunctionSwitch(1, 32).transfer_cycles == 96
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FixedFunctionSwitch(-1, 16)
+        with pytest.raises(ValueError):
+            FixedFunctionSwitch(1, 16, rows=0)
+
+
+class TestValidateMoves:
+    def test_butterfly_pattern_routable_every_stage(self):
+        """The paper's central claim for the switches: every GS stage's
+        exchange pattern only needs offsets {0, +s, -s} with s = 2^i."""
+        for log_n in range(2, 13):  # n up to 4096
+            n = 1 << log_n
+            for i in range(log_n):
+                distance = 1 << i
+                switch = FixedFunctionSwitch(distance, 16, rows=n)
+                moves = FixedFunctionSwitch.butterfly_moves(n, distance)
+                switch.validate_moves(moves)  # must not raise
+
+    def test_wrong_stride_rejected(self):
+        switch = FixedFunctionSwitch(2, 16, rows=8)
+        with pytest.raises(SwitchRouteError):
+            switch.validate_moves({0: (3,)})  # offset 3 not in {0, 2, -2}
+
+    def test_out_of_range_rejected(self):
+        switch = FixedFunctionSwitch(2, 16, rows=8)
+        with pytest.raises(SwitchRouteError):
+            switch.validate_moves({7: (9,)})
+        with pytest.raises(SwitchRouteError):
+            switch.validate_moves({9: (9,)})
+
+
+class TestRoutePasses:
+    def test_pass_contents(self):
+        switch = FixedFunctionSwitch(2, 16, rows=8)
+        values = np.arange(8, dtype=np.uint64) * 10
+        passes = switch.route_passes(values, fill=999)
+        assert passes[0].tolist() == values.tolist()
+        # offset +2: row j receives values[j-2]
+        assert passes[2].tolist() == [999, 999, 0, 10, 20, 30, 40, 50]
+        # offset -2: row j receives values[j+2]
+        assert passes[-2].tolist() == [20, 30, 40, 50, 60, 70, 999, 999]
+
+    def test_charges_transfer_cycles(self):
+        counter = CycleCounter()
+        switch = FixedFunctionSwitch(1, 32, rows=4)
+        switch.route_passes(np.zeros(4, dtype=np.uint64), counter=counter)
+        assert counter.cycles == 96
+        assert counter.transfers == 96 * 4
+
+    def test_wrong_length_rejected(self):
+        switch = FixedFunctionSwitch(1, 16, rows=8)
+        with pytest.raises(ValueError):
+            switch.route_passes(np.zeros(4, dtype=np.uint64))
+
+    def test_butterfly_partner_recovery(self):
+        """Combining the +s and -s passes yields each row's partner."""
+        n, d = 16, 4
+        switch = FixedFunctionSwitch(d, 16, rows=n)
+        values = np.arange(n, dtype=np.uint64)
+        passes = switch.route_passes(values)
+        idx = np.arange(n)
+        partner = np.where((idx & d) != 0, passes[d], passes[-d])
+        expected = values ^ d  # butterfly partner of j is j XOR d
+        assert np.array_equal(partner, expected)

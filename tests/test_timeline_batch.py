@@ -1,0 +1,78 @@
+"""Tests for the pipeline timeline and the batch streaming API."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import CryptoPIM
+from repro.core.pipeline import PipelineModel
+from repro.core.timeline import occupancy_grid, render_timeline
+
+
+class TestOccupancyGrid:
+    def test_diagonal_structure(self):
+        model = PipelineModel.for_degree(64)
+        grid = occupancy_grid(model, multiplications=3)
+        # multiplication m occupies block b at slot b + m - 1
+        for block in range(model.depth):
+            for mult in range(1, 4):
+                assert grid[block][block + mult - 1] == mult
+
+    def test_no_block_double_booked(self):
+        model = PipelineModel.for_degree(64)
+        grid = occupancy_grid(model, multiplications=5)
+        for row in grid:
+            occupied = [v for v in row if v]
+            assert occupied == sorted(occupied)  # strictly advancing
+
+    def test_total_slots(self):
+        model = PipelineModel.for_degree(64)
+        grid = occupancy_grid(model, multiplications=7)
+        assert len(grid[0]) == model.depth + 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            occupancy_grid(PipelineModel.for_degree(64), 0)
+
+
+class TestRenderTimeline:
+    def test_contains_structure(self):
+        model = PipelineModel.for_degree(256)
+        text = render_timeline(model, multiplications=4)
+        assert "38 blocks" in text
+        assert "pre/mul" in text
+        assert "result 1 completes after slot 38" in text
+
+    def test_truncation(self):
+        text = render_timeline(PipelineModel.for_degree(1024), 4, max_blocks=5)
+        assert "more blocks" in text
+
+
+class TestBatchApi:
+    def test_batch_results_match_singles(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        pairs = [(rng.integers(0, acc.q, 256), rng.integers(0, acc.q, 256))
+                 for _ in range(4)]
+        batch = acc.multiply_batch(pairs)
+        for (a, b), result in zip(pairs, batch.results):
+            assert np.array_equal(result, acc.multiply(a, b))
+
+    def test_streaming_timeline(self, rng):
+        acc = CryptoPIM.for_degree(512)
+        pairs = [(rng.integers(0, acc.q, 512), rng.integers(0, acc.q, 512))
+                 for _ in range(10)]
+        batch = acc.multiply_batch(pairs)
+        gaps = {b - a for a, b in zip(batch.completion_cycles,
+                                      batch.completion_cycles[1:])}
+        assert gaps == {acc.model.stage_cycles}
+        assert batch.completion_cycles[0] == acc.model.latency_cycles(True)
+
+    def test_large_batch_approaches_table2_throughput(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        a = rng.integers(0, acc.q, 256)
+        batch = acc.multiply_batch([(a, a)] * 400)
+        assert batch.effective_throughput_per_s == pytest.approx(
+            553311, rel=0.15)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoPIM.for_degree(256).multiply_batch([])

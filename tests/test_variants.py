@@ -1,0 +1,87 @@
+"""Tests for the bitrev-free DIF/DIT NTT variants."""
+
+import numpy as np
+import pytest
+
+from repro.ntt.bitrev import bitrev_permute
+from repro.ntt.naive import schoolbook_negacyclic
+from repro.ntt.params import params_for_degree
+from repro.ntt.transform import ntt_gs
+from repro.ntt.variants import (
+    intt_dit,
+    intt_dit_np,
+    negacyclic_multiply_no_bitrev,
+    ntt_dif,
+    ntt_dif_np,
+)
+
+
+class TestDifForward:
+    @pytest.mark.parametrize("n", [4, 16, 64, 256])
+    def test_agrees_with_gs_kernel_up_to_bitrev(self, n, rng):
+        """Two independent dataflow derivations of the same transform."""
+        p = params_for_degree(n)
+        a = rng.integers(0, p.q, n).tolist()
+        assert ntt_dif(a, p) == bitrev_permute(ntt_gs(a, p))
+
+    def test_linearity(self, rng):
+        p = params_for_degree(64)
+        a = rng.integers(0, p.q, 64).tolist()
+        b = rng.integers(0, p.q, 64).tolist()
+        fa, fb = ntt_dif(a, p), ntt_dif(b, p)
+        fsum = ntt_dif([(x + y) % p.q for x, y in zip(a, b)], p)
+        assert fsum == [(x + y) % p.q for x, y in zip(fa, fb)]
+
+    def test_length_check(self):
+        p = params_for_degree(16)
+        with pytest.raises(ValueError):
+            ntt_dif([1] * 8, p)
+
+
+class TestDitInverse:
+    @pytest.mark.parametrize("n", [4, 16, 256, 1024])
+    def test_roundtrip(self, n, rng):
+        p = params_for_degree(n)
+        a = rng.integers(0, p.q, n).tolist()
+        assert intt_dit(ntt_dif(a, p), p) == a
+
+    def test_length_check(self):
+        p = params_for_degree(16)
+        with pytest.raises(ValueError):
+            intt_dit([1] * 32, p)
+
+
+class TestNoBitrevMultiply:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_against_schoolbook(self, n, rng):
+        p = params_for_degree(n)
+        a = rng.integers(0, p.q, n).tolist()
+        b = rng.integers(0, p.q, n).tolist()
+        assert (negacyclic_multiply_no_bitrev(a, b, p)
+                == schoolbook_negacyclic(a, b, p.q))
+
+    def test_agrees_with_paper_dataflow(self, rng):
+        from repro.ntt.transform import negacyclic_multiply
+        p = params_for_degree(128)
+        a = rng.integers(0, p.q, 128).tolist()
+        b = rng.integers(0, p.q, 128).tolist()
+        assert (negacyclic_multiply_no_bitrev(a, b, p)
+                == negacyclic_multiply(a, b, p))
+
+
+class TestNumpyVariants:
+    @pytest.mark.parametrize("n", [16, 512, 4096])
+    def test_dif_np_matches_python(self, n, rng):
+        p = params_for_degree(n)
+        a = rng.integers(0, p.q, n)
+        if n <= 512:
+            assert ntt_dif_np(a, p).tolist() == ntt_dif(a.tolist(), p)
+        back = intt_dit_np(ntt_dif_np(a, p), p)
+        assert np.array_equal(back, a.astype(np.uint64))
+
+    def test_shape_check(self):
+        p = params_for_degree(16)
+        with pytest.raises(ValueError):
+            ntt_dif_np(np.zeros(8, dtype=np.uint64), p)
+        with pytest.raises(ValueError):
+            intt_dit_np(np.zeros(8, dtype=np.uint64), p)
