@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Throughput benchmark: single vs batched vs worker-pool multiplication.
+
+Times four ways of computing B negacyclic products at each degree:
+
+* ``legacy_loop``   - the seed's per-pair path: a Python loop over a
+  kernel that rebuilds ``np.arange`` + masks for every stage of every
+  call (faithful copy of the pre-stage-plan ``_gs_kernel_np``);
+* ``single_loop``   - a per-pair loop over today's ``NttEngine.multiply``
+  (cached stage plan, still one pair per call) - the before/after of the
+  1-D index-caching change;
+* ``multiply_many`` - one 2-D kernel invocation for the whole batch;
+* ``worker_pool``   - ``CryptoPIM.multiply_batch(..., workers=W)`` with
+  the pool capped at the chip's parallel superbank count.
+
+Writes machine-readable ``BENCH_throughput.json`` at the repo root so
+future PRs have a perf trajectory.  ``--quick`` shrinks sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.arch.chip import CryptoPimChip                      # noqa: E402
+from repro.core.accelerator import CryptoPIM                   # noqa: E402
+from repro.ntt.bitrev import bitrev_permute_array              # noqa: E402
+from repro.ntt.params import params_for_degree                 # noqa: E402
+from repro.ntt.transform import NttEngine                      # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Legacy (seed) kernel - rebuilds stage indices on every call
+# ---------------------------------------------------------------------------
+
+def _legacy_gs_kernel(values: np.ndarray, twiddles: np.ndarray, q: int) -> np.ndarray:
+    n = len(values)
+    log_n = n.bit_length() - 1
+    for i in range(log_n):
+        distance = 1 << i
+        idx = np.arange(n, dtype=np.int64)
+        tops = idx[(idx & distance) == 0]
+        bots = tops + distance
+        w = twiddles[tops >> (i + 1)]
+        t = values[tops].copy()
+        values[tops] = (t + values[bots]) % q
+        diff = (t + q - values[bots]) % q
+        values[bots] = (w * diff) % q
+    return values
+
+
+class LegacyEngine:
+    """The seed's per-pair multiplier, for before/after comparison."""
+
+    def __init__(self, n: int):
+        params = params_for_degree(n)
+        self.q = params.q
+        self.n_inv = params.n_inv
+        self._phi = np.asarray(params.phi_powers(), dtype=np.uint64)
+        self._phi_inv = np.asarray(params.phi_inv_powers(), dtype=np.uint64)
+        self._fwd = np.asarray(params.forward_twiddles_bitrev(), dtype=np.uint64)
+        self._inv = np.asarray(params.inverse_twiddles_bitrev(), dtype=np.uint64)
+
+    def _forward(self, values: np.ndarray) -> np.ndarray:
+        work = bitrev_permute_array(values % self.q)
+        return _legacy_gs_kernel(work, self._fwd, self.q)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        q = self.q
+        a_hat = self._forward((a * self._phi) % q)
+        b_hat = self._forward((b * self._phi) % q)
+        work = bitrev_permute_array(((a_hat * b_hat) % q) % q)
+        _legacy_gs_kernel(work, self._inv, q)
+        return (((work * self.n_inv) % q) * self._phi_inv) % q
+
+
+# ---------------------------------------------------------------------------
+# Timing harness
+# ---------------------------------------------------------------------------
+
+def _time_best(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_degree(n: int, batch: int, repeats: int, workers: int,
+                 skip_workers: bool) -> dict:
+    rng = np.random.default_rng(n)
+    engine = NttEngine.for_degree(n)
+    legacy = LegacyEngine(n)
+    acc = CryptoPIM.for_degree(n)
+    a_block = rng.integers(0, engine.q, (batch, n)).astype(np.uint64)
+    b_block = rng.integers(0, engine.q, (batch, n)).astype(np.uint64)
+    pairs = [(a_block[i], b_block[i]) for i in range(batch)]
+
+    # correctness cross-check before timing anything
+    reference = engine.multiply_many(a_block, b_block)
+    assert np.array_equal(reference[0], legacy.multiply(a_block[0], b_block[0]))
+
+    timings = {
+        "legacy_loop": _time_best(
+            lambda: [legacy.multiply(a, b) for a, b in pairs], repeats),
+        "single_loop": _time_best(
+            lambda: [engine.multiply(a, b) for a, b in pairs], repeats),
+        "multiply_many": _time_best(
+            lambda: engine.multiply_many(a_block, b_block), repeats),
+    }
+    superbanks = CryptoPimChip().configure(n).parallel_multiplications
+    effective_workers = min(workers, superbanks, batch)
+    if not skip_workers:
+        timings["worker_pool"] = _time_best(
+            lambda: acc.multiply_batch(pairs, workers=effective_workers), 1)
+
+    ops_per_s = {name: batch / seconds for name, seconds in timings.items()}
+    baseline = ops_per_s["legacy_loop"]
+    return {
+        "n": n,
+        "q": engine.q,
+        "batch": batch,
+        "superbanks": superbanks,
+        "workers_used": 0 if skip_workers else effective_workers,
+        "seconds": timings,
+        "ops_per_s": ops_per_s,
+        "speedup_vs_legacy_loop": {
+            name: value / baseline for name, value in ops_per_s.items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small batches / fewer repeats (CI smoke)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="batch size (default 64, quick 16)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repeats (default 5, quick 2)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker-pool request (clamped to superbanks)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[256, 1024, 4096])
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_throughput.json")
+    args = parser.parse_args(argv)
+
+    batch = args.batch or (16 if args.quick else 64)
+    repeats = args.repeats or (2 if args.quick else 5)
+    sizes = args.sizes if not args.quick else args.sizes[:2]
+
+    results = []
+    for n in sizes:
+        row = bench_degree(n, batch, repeats, args.workers,
+                           skip_workers=False)
+        results.append(row)
+        speed = row["speedup_vs_legacy_loop"]
+        print(f"n={n:5d} batch={batch:3d}  "
+              f"legacy {row['ops_per_s']['legacy_loop']:9.0f} ops/s  "
+              f"single x{speed['single_loop']:.2f}  "
+              f"batched x{speed['multiply_many']:.2f}  "
+              + (f"pool x{speed['worker_pool']:.2f}"
+                 if "worker_pool" in speed else "pool -"))
+
+    payload = {
+        "benchmark": "benchmarks/bench_throughput.py",
+        "quick": bool(args.quick),
+        "batch": batch,
+        "repeats": repeats,
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,6 +87,16 @@ class PimMachine:
     def for_degree(cls, n: int) -> "PimMachine":
         return cls(params_for_degree(n))
 
+    def reset(self) -> None:
+        """Prepare for the next multiplication on the same machine.
+
+        Zeroes the cycle meter and drops per-run switch state; the blocks
+        (crossbars and their programmed constant columns) are retained, so
+        a long-lived accelerator pays construction cost once.
+        """
+        self.counter.reset()
+        self._switches.clear()
+
     # -- infrastructure --------------------------------------------------------
 
     def _block(self, label: str) -> PimBlock:

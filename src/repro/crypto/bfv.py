@@ -174,12 +174,13 @@ class BfvScheme:
         y_c = [p.centered_coeffs() for p in y.parts]
         out_len = len(x_c) + len(y_c) - 1
         tensored = [[0] * n for _ in range(out_len)]
-        for i, xi in enumerate(x_c):
-            for j, yj in enumerate(y_c):
-                prod = self._exact_negacyclic(xi, yj)
-                row = tensored[i + j]
-                for k in range(n):
-                    row[k] += prod[k]
+        index_pairs = [(i, j) for i in range(len(x_c)) for j in range(len(y_c))]
+        products = self._exact_negacyclic_many(
+            [(x_c[i], y_c[j]) for i, j in index_pairs])
+        for (i, j), prod in zip(index_pairs, products):
+            row = tensored[i + j]
+            for k in range(n):
+                row[k] += prod[k]
         parts = []
         for row in tensored:
             rounded = [((2 * t * v + q) // (2 * q)) % q for v in row]
@@ -187,15 +188,9 @@ class BfvScheme:
                 np.asarray(rounded, dtype=np.int64), self.params)))
         return BfvCiphertext(parts=parts)
 
-    def _exact_negacyclic(self, a: np.ndarray, b: np.ndarray) -> List[int]:
-        """Exact integer negacyclic product of two centered vectors.
-
-        Computed with NTTs over an auxiliary CRT tower wide enough to
-        avoid any wraparound (|result| < n * (q/2)^2), then reconstructed
-        centered - exactness is what lets the t/q rounding be performed on
-        true integers.
-        """
-        from ..ntt.rns import RnsBasis, RnsPolynomial
+    def _aux(self):
+        """The auxiliary CRT tower wide enough for |coeffs| < n*(q/2)^2."""
+        from ..ntt.rns import RnsBasis
 
         if not hasattr(self, "_aux_basis"):
             bound = 2 * self.params.n * (self.params.q // 2) ** 2
@@ -206,9 +201,30 @@ class BfvScheme:
                     break
                 levels += 1
             self._aux_basis = basis
-        pa = RnsPolynomial.from_integers(self._aux_basis, [int(v) for v in a])
-        pb = RnsPolynomial.from_integers(self._aux_basis, [int(v) for v in b])
-        return (pa * pb).to_centered()
+        return self._aux_basis
+
+    def _exact_negacyclic(self, a: np.ndarray, b: np.ndarray) -> List[int]:
+        """Exact integer negacyclic product of two centered vectors."""
+        return self._exact_negacyclic_many([(a, b)])[0]
+
+    def _exact_negacyclic_many(self, pairs) -> List[List[int]]:
+        """Exact integer negacyclic products of centered vector pairs.
+
+        Computed with NTTs over an auxiliary CRT tower wide enough to
+        avoid any wraparound (|result| < n * (q/2)^2), then reconstructed
+        centered - exactness is what lets the t/q rounding be performed on
+        true integers.  All pairs share one batched kernel call per
+        tower prime.
+        """
+        from ..ntt.rns import RnsPolynomial
+
+        basis = self._aux()
+        pa = [RnsPolynomial.from_integers(basis, [int(v) for v in a])
+              for a, _ in pairs]
+        pb = [RnsPolynomial.from_integers(basis, [int(v) for v in b])
+              for _, b in pairs]
+        return [p.to_centered()
+                for p in RnsPolynomial.multiply_pairs(list(zip(pa, pb)))]
 
     def relinearize(self, ct: BfvCiphertext, rlk: BfvRelinKey) -> BfvCiphertext:
         if ct.degree != 2:

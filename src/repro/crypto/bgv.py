@@ -177,13 +177,17 @@ class BgvScheme:
                              noise_bound=x.noise_bound + y.noise_bound)
 
     def multiply(self, x: BgvCiphertext, y: BgvCiphertext) -> BgvCiphertext:
-        """Tensor product: output degree is the sum of input degrees."""
+        """Tensor product: output degree is the sum of input degrees.
+
+        All cross products go through one batched kernel call."""
         out_len = len(x.parts) + len(y.parts) - 1
         zero = self._attach(Polynomial.zero(self.params))
         parts = [zero for _ in range(out_len)]
-        for i, xi in enumerate(x.parts):
-            for j, yj in enumerate(y.parts):
-                parts[i + j] = parts[i + j] + xi * yj
+        pairs = [(xi, yj) for xi in x.parts for yj in y.parts]
+        products = iter(Polynomial.multiply_pairs(pairs))
+        for i in range(len(x.parts)):
+            for j in range(len(y.parts)):
+                parts[i + j] = parts[i + j] + next(products)
         # |phase| multiplies, scaled by the ring expansion factor.  The
         # worst case is n, but with high probability random phases grow by
         # ~sqrt(n); we use 4*sqrt(n) as a high-probability bound (tests
@@ -200,14 +204,21 @@ class BgvScheme:
         if rlk.base != self.relin_base:
             raise ValueError("relinearization key uses a different base")
         c0, c1, c2 = ct.parts
-        # Decompose c2 into base-T digit polynomials.
+        # Decompose c2 into base-T digit polynomials, then batch the 2D
+        # key-switching products (digit x b_i and digit x a_i) in one call.
         coeffs = ct.parts[2].coeffs.astype(np.int64)
-        new0, new1 = c0, c1
+        digits = []
         for i in range(self.relin_digits):
             digit = (coeffs // (self.relin_base ** i)) % self.relin_base
-            digit_poly = self._attach(Polynomial(digit, self.params))
-            new0 = new0 + digit_poly * rlk.b[i]
-            new1 = new1 - digit_poly * rlk.a[i]
+            digits.append(self._attach(Polynomial(digit, self.params)))
+        products = Polynomial.multiply_pairs(
+            [(d, rlk.b[i]) for i, d in enumerate(digits)]
+            + [(d, rlk.a[i]) for i, d in enumerate(digits)]
+        )
+        new0, new1 = c0, c1
+        for i in range(self.relin_digits):
+            new0 = new0 + products[i]
+            new1 = new1 - products[self.relin_digits + i]
         # Key-switching noise: t * sum_i |digit_i * e_i|, with the same
         # high-probability sqrt(n) expansion per digit product.
         switch_noise = (self.t * self.relin_digits * self.relin_base

@@ -195,9 +195,11 @@ class RnsBgvScheme:
         basis = x.parts[0].basis
         out_len = len(x.parts) + len(y.parts) - 1
         parts = [RnsPolynomial.zero(basis) for _ in range(out_len)]
-        for i, xi in enumerate(x.parts):
-            for j, yj in enumerate(y.parts):
-                parts[i + j] = parts[i + j] + xi * yj
+        pairs = [(xi, yj) for xi in x.parts for yj in y.parts]
+        products = iter(RnsPolynomial.multiply_pairs(pairs))
+        for i in range(len(x.parts)):
+            for j in range(len(y.parts)):
+                parts[i + j] = parts[i + j] + next(products)
         return RnsBgvCiphertext(
             parts, x.noise_bound * y.noise_bound * self._expansion)
 
@@ -209,15 +211,21 @@ class RnsBgvScheme:
         if basis.primes != self.basis.primes:
             raise ValueError("relinearize before modulus switching")
         c0, c1, c2 = ct.parts
+        # RNS digits: the channel-i residues, lifted to the whole basis;
+        # the 2L key-switching products share one batched call per prime.
+        digits = [
+            RnsPolynomial.from_integers(basis, [int(v) for v in c2.residues[i]])
+            for i in range(basis.levels)
+        ]
+        products = RnsPolynomial.multiply_pairs(
+            [(d, rlk.b[i]) for i, d in enumerate(digits)]
+            + [(d, rlk.a[i]) for i, d in enumerate(digits)]
+        )
         new0, new1 = c0, c1
-        worst_digit = 0
-        for i, q_i in enumerate(basis.primes):
-            # RNS digit: the channel-i residues, lifted to the whole basis
-            digit_ints = [int(v) for v in c2.residues[i]]
-            digit = RnsPolynomial.from_integers(basis, digit_ints)
-            new0 = new0 + digit * rlk.b[i]
-            new1 = new1 - digit * rlk.a[i]
-            worst_digit = max(worst_digit, q_i)
+        for i in range(basis.levels):
+            new0 = new0 + products[i]
+            new1 = new1 - products[basis.levels + i]
+        worst_digit = max(basis.primes)
         switch_noise = (self.t * basis.levels * worst_digit * self.eta
                         * self._expansion)
         return RnsBgvCiphertext([new0, new1], ct.noise_bound + switch_noise)

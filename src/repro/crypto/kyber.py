@@ -78,9 +78,25 @@ class KyberPke:
 
     def _dot(self, left: List[Polynomial], right: List[Polynomial]) -> Polynomial:
         acc = self._zero()
-        for x, y in zip(left, right):
-            acc = acc + x * y
+        for p in Polynomial.multiply_pairs(list(zip(left, right))):
+            acc = acc + p
         return acc
+
+    def _matvec(self, rows: List[List[Polynomial]],
+                vec: List[Polynomial]) -> List[Polynomial]:
+        """All ``k^2`` ring products of a matrix-vector product in one
+        batched kernel call - the workload shape the configurable
+        architecture runs across parallel superbanks."""
+        k = len(vec)
+        pairs = [(row[j], vec[j]) for row in rows for j in range(k)]
+        products = Polynomial.multiply_pairs(pairs)
+        out = []
+        for i in range(len(rows)):
+            acc = self._zero()
+            for j in range(k):
+                acc = acc + products[i * k + j]
+            out.append(acc)
+        return out
 
     # -- the scheme ---------------------------------------------------------
 
@@ -92,7 +108,8 @@ class KyberPke:
         ]
         s = self._noise_vec()
         e = self._noise_vec()
-        t = [self._dot(matrix[i], s) + e[i] for i in range(self.k)]
+        a_s = self._matvec(matrix, s)
+        t = [a_s[i] + e[i] for i in range(self.k)]
         return KyberPublicKey(seed_matrix=matrix, t=t), KyberSecretKey(s=s)
 
     def encrypt(self, pk: KyberPublicKey, message_bits: np.ndarray) -> KyberCiphertext:
@@ -103,11 +120,11 @@ class KyberPke:
         r = self._noise_vec()
         e1 = self._noise_vec()
         e2 = self._attach(cbd_poly(self.params, self.rng, self.eta))
-        # u = A^T r + e1
-        u = [
-            self._dot([pk.seed_matrix[j][i] for j in range(self.k)], r) + e1[i]
-            for i in range(self.k)
-        ]
+        # u = A^T r + e1, all k^2 products in one batched call
+        transpose = [[pk.seed_matrix[j][i] for j in range(self.k)]
+                     for i in range(self.k)]
+        at_r = self._matvec(transpose, r)
+        u = [at_r[i] + e1[i] for i in range(self.k)]
         encoded = self._attach(
             Polynomial(bits.astype(np.int64) * self._half_q, self.params)
         )

@@ -7,10 +7,12 @@ Public surface:
 * :mod:`repro.ntt.bitrev` - bit-reversal permutation
 * :mod:`repro.ntt.params` - the paper's (n, q, bitwidth) parameter sets
 * :mod:`repro.ntt.transform` - Gentleman-Sande NTT and Algorithm 1
+* :mod:`repro.ntt.batch` - batched 2-D kernels and the cached stage plan
 * :mod:`repro.ntt.naive` - schoolbook / Karatsuba reference multipliers
 * :mod:`repro.ntt.polynomial` - ring element type
 """
 
+from .batch import StagePlan, gs_kernel_batch, stage_plan
 from .bitrev import bitrev_indices, bitrev_permute, bitrev_permute_array, reverse_bits
 from .modmath import (
     centered,

@@ -1,0 +1,236 @@
+"""Batched (2-D) Gentleman-Sande kernels and the cached per-degree stage plan.
+
+Section III-D.2 of the paper reconfigures small degrees into *multiple
+parallel superbanks*, so the natural unit of work at production scale is a
+*batch* of polynomials, not a single pair.  Related in-memory accelerators
+(BP-NTT's bit-parallel in-SRAM batching, NTT-PIM's row-centric mapping) win
+precisely by amortising per-transform control overhead across many
+polynomials.  This module gives the software simulator the same shape: one
+set of numpy stage operations processes a whole ``(batch, n)`` block.
+
+Two pieces:
+
+* :func:`stage_plan` - an ``lru_cache``-d per-degree **stage plan**: the
+  bit-reversal gather plus, for every butterfly stage, both the
+  reshape-based strided geometry ``(groups, distance)`` (gather-free fast
+  path) and explicit top/bottom/twiddle index tables (for non-contiguous
+  views and index-oriented consumers such as the PIM layout).  Building
+  these once per degree is what stops every transform from paying
+  ``np.arange`` + mask construction per stage.
+* :func:`gs_kernel_batch` - Algorithm 2 vectorised over a 2-D ``uint64``
+  array, in place; each row is one polynomial in bit-reversed order on
+  entry and natural order on exit.
+
+The 1-D kernel in :mod:`repro.ntt.transform` is a batch-of-one view of
+this kernel, so both paths share one plan cache and stay bit-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from .bitrev import bitrev_indices
+
+__all__ = [
+    "StagePlan",
+    "stage_plan",
+    "bitrev_gather_rows",
+    "gs_kernel_batch",
+    "shoup_table",
+    "modmul_fixed",
+    "kernel_dtype",
+    "SHOUP_MAX_Q",
+    "UINT32_MAX_Q",
+]
+
+#: Shoup precomputation shift: w_shoup = floor(w * 2^31 / q)
+_SHOUP_SHIFT = np.uint64(31)
+#: moduli below this bound use division-free Shoup butterflies (the paper's
+#: largest modulus is 786433 ~ 2^20; RNS towers use 24-bit primes)
+SHOUP_MAX_Q = 1 << 26
+#: moduli below 2^16 run the whole datapath in uint32 (q^2 < 2^32, so no
+#: product overflows) - numpy's 32-bit integer ops are SIMD-vectorised and
+#: roughly 3x faster than 64-bit on the same element count, mirroring the
+#: paper's 16-bit datapath for n <= 1024
+UINT32_MAX_Q = 1 << 16
+
+
+def kernel_dtype(q: int) -> np.dtype:
+    """Narrowest kernel dtype whose products cannot overflow for ``q``."""
+    return np.dtype(np.uint32) if q < UINT32_MAX_Q else np.dtype(np.uint64)
+
+
+def shoup_table(values: np.ndarray, q: int) -> np.ndarray:
+    """``floor(v * 2^31 / q)`` per element - the Shoup companion table.
+
+    With ``w_shoup`` precomputed, ``w * d mod q`` needs no division:
+    ``r = w*d - q*((d*w_shoup) >> 31)`` lands in ``[0, 2q)`` for any
+    ``d < 2^31``, finished by one conditional subtract.  Exact integer
+    arithmetic, so results are bit-identical to the ``%`` path.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    return (v << _SHOUP_SHIFT) // np.uint64(q)
+
+
+def _reduce_once(x: np.ndarray, q: np.uint64) -> np.ndarray:
+    """Map values in ``[0, 2q)`` to ``[0, q)`` in place (no division)."""
+    np.subtract(x, q, out=x, where=x >= q)
+    return x
+
+
+def modmul_fixed(x: np.ndarray, w: np.ndarray, w_shoup: np.ndarray,
+                 q: int) -> np.ndarray:
+    """``(x * w) mod q`` against a fixed uint64 constant table, division-free.
+
+    Requires ``x < q`` elementwise and ``q < SHOUP_MAX_Q``; the constant
+    tables come from :func:`shoup_table`.  (The uint32 datapath multiplies
+    with plain ``%`` instead - SIMD 32-bit division beats Shoup there.)
+    """
+    qq = np.uint64(q)
+    r = x * w - ((x * w_shoup) >> _SHOUP_SHIFT) * qq
+    return _reduce_once(r, qq)
+
+
+@dataclass(frozen=True, eq=False)
+class StagePlan:
+    """Precomputed butterfly geometry for one power-of-two degree ``n``.
+
+    Attributes:
+        n: polynomial degree.
+        log_n: number of butterfly stages.
+        bitrev: ``int64`` gather for the bit-reversed write (Algorithm 1
+            line 4; a row-address permutation in the hardware).
+        shapes: per-stage ``(groups, distance)``; stage ``i`` views the row
+            as ``(groups, 2, distance)`` so tops/bots are strided slices
+            and the twiddle for group ``g`` is simply ``tw[g]``.
+        tops / bots / twiddle_idx: per-stage explicit index tables
+            equivalent to the reshape geometry - the form the seed kernel
+            rebuilt on every call, now built once and shared.
+    """
+
+    n: int
+    log_n: int
+    bitrev: np.ndarray
+    shapes: Tuple[Tuple[int, int], ...]
+    tops: Tuple[np.ndarray, ...]
+    bots: Tuple[np.ndarray, ...]
+    twiddle_idx: Tuple[np.ndarray, ...]
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=64)
+def stage_plan(n: int) -> StagePlan:
+    """Build (and cache) the stage plan for degree ``n``.
+
+    Repeat calls return the *same object*, so every transform of a given
+    degree - single or batched, any modulus - shares one set of tables.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"degree must be a power of two >= 2, got {n}")
+    log_n = n.bit_length() - 1
+    rev = _frozen(np.asarray(bitrev_indices(n), dtype=np.int64))
+    shapes = []
+    tops, bots, twiddle_idx = [], [], []
+    idx = np.arange(n, dtype=np.int64)
+    for i in range(log_n):
+        distance = 1 << i
+        groups = n >> (i + 1)
+        shapes.append((groups, distance))
+        t = idx[(idx & distance) == 0]
+        tops.append(_frozen(t))
+        bots.append(_frozen(t + distance))
+        twiddle_idx.append(_frozen(t >> (i + 1)))
+    return StagePlan(
+        n=n,
+        log_n=log_n,
+        bitrev=rev,
+        shapes=tuple(shapes),
+        tops=tuple(tops),
+        bots=tuple(bots),
+        twiddle_idx=tuple(twiddle_idx),
+    )
+
+
+def bitrev_gather_rows(values: np.ndarray, plan: StagePlan) -> np.ndarray:
+    """Row-wise bit-reversal gather of a ``(batch, n)`` array (fresh array)."""
+    return values[:, plan.bitrev]
+
+
+def gs_kernel_batch(
+    values: np.ndarray,
+    twiddles_bitrev: np.ndarray,
+    q: int,
+    plan: StagePlan | None = None,
+    twiddles_shoup: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorised Algorithm 2 over a ``(batch, n)`` uint64 array, in place.
+
+    Rows enter in bit-reversed order and leave holding the transform in
+    natural order.  C-contiguous inputs take the gather-free reshape path;
+    strided views fall back to the plan's cached index tables (still in
+    place, still no per-call index construction).
+
+    For ``q < SHOUP_MAX_Q`` the butterflies use Shoup multiplication
+    (``twiddles_shoup`` is derived once per call if the caller has not
+    cached it); larger moduli fall back to ``%``.  Both produce identical
+    bits.
+    """
+    if values.ndim != 2:
+        raise ValueError(f"expected a (batch, n) array, got shape {values.shape}")
+    batch, n = values.shape
+    if plan is None:
+        plan = stage_plan(n)
+    elif plan.n != n:
+        raise ValueError(f"plan is for n={plan.n}, values have n={n}")
+    tw = twiddles_bitrev
+    qq = np.uint64(q)
+    # uint32 values take the plain-% branch: 32-bit SIMD division is faster
+    # than Shoup's extra passes, and Shoup's 2^31 shift would overflow
+    use_shoup = q < SHOUP_MAX_Q and values.dtype == np.uint64
+    if use_shoup and twiddles_shoup is None:
+        twiddles_shoup = shoup_table(tw, q)
+    if values.flags.c_contiguous:
+        for groups, distance in plan.shapes:
+            v = values.reshape(batch, groups, 2, distance)
+            bot = v[:, :, 1, :]
+            t = v[:, :, 0, :].copy()
+            w = tw[:groups].reshape(1, groups, 1)
+            if use_shoup:
+                ws = twiddles_shoup[:groups].reshape(1, groups, 1)
+                # top: (t + bot) mod q via one conditional subtract
+                s = t + bot
+                v[:, :, 0, :] = _reduce_once(s, qq)
+                # bot: w * (t - bot) mod q; the difference stays in [0, 2q)
+                # and feeds the Shoup product unreduced (d < 2q << 2^31)
+                d = t + qq - bot
+                r = d * w - ((d * ws) >> _SHOUP_SHIFT) * qq
+                v[:, :, 1, :] = _reduce_once(r, qq)
+            else:
+                v[:, :, 0, :] = (t + bot) % q
+                # (t - bot) can be negative; lift by q before the unsigned
+                # subtract
+                v[:, :, 1, :] = (w * ((t + q - bot) % q)) % q
+    else:
+        for tops, bots, widx in zip(plan.tops, plan.bots, plan.twiddle_idx):
+            w = tw[widx]
+            t = values[:, tops]
+            bot = values[:, bots]
+            if use_shoup:
+                ws = twiddles_shoup[widx]
+                values[:, tops] = _reduce_once(t + bot, qq)
+                d = t + qq - bot
+                r = d * w - ((d * ws) >> _SHOUP_SHIFT) * qq
+                values[:, bots] = _reduce_once(r, qq)
+            else:
+                values[:, tops] = (t + bot) % q
+                values[:, bots] = (w * ((t + q - bot) % q)) % q
+    return values

@@ -72,6 +72,36 @@ class Polynomial:
     def for_degree(cls, n: int, coeffs: Iterable[int]) -> "Polynomial":
         return cls(list(coeffs), params_for_degree(n))
 
+    # -- batched multiplication ----------------------------------------------
+
+    @staticmethod
+    def multiply_pairs(pairs) -> list:
+        """Multiply many same-ring polynomial pairs in one batched call.
+
+        All operands must live in the same ring; the first operand's
+        backend performs the whole batch.  Backends exposing
+        ``multiply_many`` (the software :class:`NttEngine`, the CryptoPIM
+        accelerator) get one ``(batch, n)`` kernel invocation; any other
+        :class:`MultiplierBackend` falls back to per-pair products.
+        Results are bit-identical to ``[x * y for x, y in pairs]`` either
+        way.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        first = pairs[0][0]
+        for x, y in pairs:
+            x._check_compatible(y)
+            first._check_compatible(x)
+        backend = first.backend()
+        many = getattr(backend, "multiply_many", None)
+        if many is None:
+            return [x * y for x, y in pairs]
+        a_block = np.stack([x.coeffs for x, _ in pairs])
+        b_block = np.stack([y.coeffs for _, y in pairs])
+        products = np.asarray(many(a_block, b_block), dtype=np.uint64)
+        return [Polynomial(row, first.params, first._backend) for row in products]
+
     # -- helpers ---------------------------------------------------------------
 
     @property

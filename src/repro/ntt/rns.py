@@ -193,6 +193,31 @@ class RnsPolynomial:
 
     __rmul__ = __mul__
 
+    @staticmethod
+    def multiply_pairs(pairs) -> List["RnsPolynomial"]:
+        """Multiply many same-basis pairs, batching each residue channel.
+
+        The RNS limbs of one product cannot share a kernel call (each
+        channel has its own modulus), but across a *batch* of products
+        channel ``i`` is a single ``(batch, n)`` block for engine ``i`` -
+        exactly the work one CryptoPIM softbank group streams.  Results
+        are bit-identical to ``[x * y for x, y in pairs]``.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        basis = pairs[0][0].basis
+        for x, y in pairs:
+            x._check(y)
+            pairs[0][0]._check(x)
+        count = len(pairs)
+        out = np.empty((count, basis.levels, basis.n), dtype=np.uint64)
+        for i in range(basis.levels):
+            a_block = np.stack([x.residues[i] for x, _ in pairs])
+            b_block = np.stack([y.residues[i] for _, y in pairs])
+            out[:, i, :] = basis.engine(i).multiply_many(a_block, b_block)
+        return [RnsPolynomial(basis, out[k]) for k in range(count)]
+
     def scale(self, scalar: int) -> "RnsPolynomial":
         out = np.empty_like(self.residues)
         for i, q in enumerate(self.basis.primes):

@@ -25,6 +25,16 @@ from typing import List, Sequence
 
 import numpy as np
 
+from .batch import (
+    SHOUP_MAX_Q,
+    StagePlan,
+    bitrev_gather_rows,
+    gs_kernel_batch,
+    kernel_dtype,
+    modmul_fixed,
+    shoup_table,
+    stage_plan,
+)
 from .bitrev import bitrev_indices, bitrev_permute, bitrev_permute_array
 from .params import NttParams, params_for_degree
 
@@ -114,20 +124,14 @@ def negacyclic_multiply(
 # ---------------------------------------------------------------------------
 
 def _gs_kernel_np(values: np.ndarray, twiddles_bitrev: np.ndarray, q: int) -> np.ndarray:
-    """Vectorised Algorithm 2 on a bit-reversed uint64 array (in place)."""
-    n = len(values)
-    log_n = n.bit_length() - 1
-    for i in range(log_n):
-        distance = 1 << i
-        idx = np.arange(n, dtype=np.int64)
-        tops = idx[(idx & distance) == 0]
-        bots = tops + distance
-        w = twiddles_bitrev[tops >> (i + 1)]
-        t = values[tops].copy()
-        values[tops] = (t + values[bots]) % q
-        # (t - bots) can be negative; lift by q before the unsigned subtract
-        diff = (t + q - values[bots]) % q
-        values[bots] = (w * diff) % q
+    """Vectorised Algorithm 2 on a bit-reversed uint64 array (in place).
+
+    A batch-of-one view of :func:`repro.ntt.batch.gs_kernel_batch`: the
+    per-stage index tables / strided geometry come from the cached
+    :func:`repro.ntt.batch.stage_plan`, so repeated calls at the same
+    degree no longer rebuild ``np.arange`` + masks per stage.
+    """
+    gs_kernel_batch(values[None], np.asarray(twiddles_bitrev, dtype=np.uint64), q)
     return values
 
 
@@ -169,14 +173,37 @@ class NttEngine:
     This is the software multiplier used by the crypto layer and by the CPU
     baseline; the PIM accelerator exposes the same ``multiply`` signature so
     the two are interchangeable backends.
+
+    Besides the per-pair ``forward``/``inverse``/``multiply``, the engine
+    offers ``forward_many``/``inverse_many``/``multiply_many`` over
+    ``(batch, n)`` blocks: one set of numpy stage operations covers the
+    whole batch (the software analogue of the paper's parallel superbanks).
+    Both paths share the cached :class:`~repro.ntt.batch.StagePlan`, so
+    even single-pair calls stop rebuilding stage indices.
     """
 
     def __init__(self, params: NttParams):
         self.params = params
-        self._phi = np.asarray(params.phi_powers(), dtype=np.uint64)
-        self._phi_inv = np.asarray(params.phi_inv_powers(), dtype=np.uint64)
-        self._fwd_tw = np.asarray(params.forward_twiddles_bitrev(), dtype=np.uint64)
-        self._inv_tw = np.asarray(params.inverse_twiddles_bitrev(), dtype=np.uint64)
+        self._plan: StagePlan = stage_plan(params.n)
+        #: kernel datapath width: uint32 when q^2 fits (the 16-bit moduli,
+        #: mirroring the paper's 16-bit datapath for n <= 1024), else uint64
+        self._dtype = kernel_dtype(params.q)
+        dt = self._dtype
+        self._phi = np.asarray(params.phi_powers(), dtype=dt)
+        self._phi_inv = np.asarray(params.phi_inv_powers(), dtype=dt)
+        self._fwd_tw = np.asarray(params.forward_twiddles_bitrev(), dtype=dt)
+        self._inv_tw = np.asarray(params.inverse_twiddles_bitrev(), dtype=dt)
+        #: n^-1 * phi^-i fused post-scale (the table the PIM stores too)
+        self._post = np.asarray(params.phi_inv_powers_scaled(), dtype=dt)
+        if dt == np.uint64 and params.q < SHOUP_MAX_Q:
+            q = params.q
+            self._fwd_shoup = shoup_table(self._fwd_tw, q)
+            self._inv_shoup = shoup_table(self._inv_tw, q)
+            self._phi_shoup = shoup_table(self._phi, q)
+            self._post_shoup = shoup_table(self._post, q)
+        else:
+            self._fwd_shoup = self._inv_shoup = None
+            self._phi_shoup = self._post_shoup = None
 
     @classmethod
     def for_degree(cls, n: int) -> "NttEngine":
@@ -191,18 +218,73 @@ class NttEngine:
         return self.params.q
 
     def forward(self, values: np.ndarray) -> np.ndarray:
-        work = bitrev_permute_array(np.asarray(values, dtype=np.uint64) % self.q)
-        return _gs_kernel_np(work, self._fwd_tw, self.q)
+        arr = np.asarray(values, dtype=np.uint64).reshape(1, -1)
+        return self.forward_many(arr)[0]
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        work = bitrev_permute_array(np.asarray(values, dtype=np.uint64) % self.q)
-        _gs_kernel_np(work, self._inv_tw, self.q)
-        return (work * self.params.n_inv) % self.q
+        arr = np.asarray(values, dtype=np.uint64).reshape(1, -1)
+        return self.inverse_many(arr)[0]
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Negacyclic product of two coefficient vectors."""
+        a2 = np.asarray(a, dtype=np.uint64).reshape(1, -1)
+        b2 = np.asarray(b, dtype=np.uint64).reshape(1, -1)
+        return self.multiply_many(a2, b2)[0]
+
+    # -- batched operations -------------------------------------------------
+
+    def _as_batch(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.uint64)
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise ValueError(
+                f"expected a (batch, {self.n}) array, got shape {arr.shape}"
+            )
+        return (arr % self.q).astype(self._dtype, copy=False)
+
+    def _modmul_table(self, x: np.ndarray, table: np.ndarray,
+                      table_shoup) -> np.ndarray:
+        """``(x * table) mod q`` against a cached constant table."""
+        if table_shoup is not None:
+            return modmul_fixed(x, table, table_shoup, self.q)
+        return (x * table) % self.q  # uint32 datapath / huge-q fallback
+
+    def forward_many(self, values: np.ndarray) -> np.ndarray:
+        """Forward NTT of every row of a ``(batch, n)`` block."""
+        work = bitrev_gather_rows(self._as_batch(values), self._plan)
+        return gs_kernel_batch(work, self._fwd_tw, self.q, self._plan,
+                               self._fwd_shoup)
+
+    def inverse_many(self, values: np.ndarray) -> np.ndarray:
+        """Inverse NTT (with ``n^-1`` scaling) of every row."""
+        work = bitrev_gather_rows(self._as_batch(values), self._plan)
+        gs_kernel_batch(work, self._inv_tw, self.q, self._plan,
+                        self._inv_shoup)
+        return (work * self.params.n_inv) % self.q
+
+    def multiply_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic products of ``(batch, n)`` operand blocks, row-wise.
+
+        Bit-identical to calling :meth:`multiply` on each row, at the cost
+        of roughly one transform's worth of numpy dispatch for the whole
+        batch.  The pre-twist, post-twist and ``n^-1`` scalings run
+        against cached Shoup tables (the post scale is the fused
+        ``n^-1 * phi^-i`` column the PIM itself stores).
+        """
         q = self.q
-        a_hat = self.forward((np.asarray(a, dtype=np.uint64) * self._phi) % q)
-        b_hat = self.forward((np.asarray(b, dtype=np.uint64) * self._phi) % q)
-        c = self.inverse((a_hat * b_hat) % q)
-        return (c * self._phi_inv) % q
+        a2 = self._as_batch(a)
+        b2 = self._as_batch(b)
+        if a2.shape[0] != b2.shape[0]:
+            raise ValueError(
+                f"operand batches differ: {a2.shape[0]} vs {b2.shape[0]}"
+            )
+        plan = self._plan
+        a_hat = gs_kernel_batch(
+            bitrev_gather_rows(self._modmul_table(a2, self._phi, self._phi_shoup), plan),
+            self._fwd_tw, q, plan, self._fwd_shoup)
+        b_hat = gs_kernel_batch(
+            bitrev_gather_rows(self._modmul_table(b2, self._phi, self._phi_shoup), plan),
+            self._fwd_tw, q, plan, self._fwd_shoup)
+        c_twisted = gs_kernel_batch(
+            bitrev_gather_rows((a_hat * b_hat) % q, plan),
+            self._inv_tw, q, plan, self._inv_shoup)
+        return self._modmul_table(c_twisted, self._post, self._post_shoup)

@@ -1,0 +1,231 @@
+"""Tests for the batched NTT engine, stage-plan cache and worker sharding."""
+
+import numpy as np
+import pytest
+
+from repro.arch.chip import CryptoPimChip
+from repro.core.accelerator import CryptoPIM
+from repro.ntt.batch import (
+    UINT32_MAX_Q,
+    gs_kernel_batch,
+    kernel_dtype,
+    shoup_table,
+    stage_plan,
+)
+from repro.ntt.params import params_for_degree
+from repro.ntt.polynomial import Polynomial
+from repro.ntt.rns import RnsBasis, RnsPolynomial
+from repro.ntt.transform import NttEngine, negacyclic_multiply
+
+
+#: one degree per paper modulus tier: 7681 / 12289 / 786433
+TIER_DEGREES = (256, 1024, 2048)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xBA7C4)
+
+
+def random_batch(rng, q, batch, n):
+    return (rng.integers(0, q, (batch, n)).astype(np.uint64),
+            rng.integers(0, q, (batch, n)).astype(np.uint64))
+
+
+class TestStagePlan:
+    def test_cache_returns_same_object(self):
+        assert stage_plan(1024) is stage_plan(1024)
+        assert stage_plan(256) is not stage_plan(512)
+
+    def test_tables_match_reshape_geometry(self):
+        plan = stage_plan(64)
+        for stage, (groups, distance) in enumerate(plan.shapes):
+            tops = plan.tops[stage]
+            assert groups * distance * 2 == 64
+            assert np.array_equal(plan.bots[stage], tops + distance)
+            assert np.array_equal(plan.twiddle_idx[stage], tops >> (stage + 1))
+            assert not np.any(tops & distance)
+
+    def test_tables_read_only(self):
+        plan = stage_plan(128)
+        with pytest.raises(ValueError):
+            plan.bitrev[0] = 1
+        with pytest.raises(ValueError):
+            plan.tops[0][0] = 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            stage_plan(48)
+
+    def test_shared_with_engine(self):
+        assert NttEngine.for_degree(512)._plan is stage_plan(512)
+
+
+class TestKernelPaths:
+    """The contiguous reshape path and the strided gather path agree."""
+
+    def test_noncontiguous_matches_contiguous(self, rng):
+        params = params_for_degree(64)
+        eng = NttEngine(params)
+        wide = rng.integers(0, params.q, (3, 128)).astype(np.uint64)
+        strided = wide[:, ::2]
+        contiguous = strided.copy()
+        gs_kernel_batch(strided, eng._fwd_tw.astype(np.uint64), params.q)
+        gs_kernel_batch(contiguous, eng._fwd_tw.astype(np.uint64), params.q)
+        assert np.array_equal(strided, contiguous)
+
+    def test_shoup_matches_modulo(self, rng):
+        # same twiddles, with and without the precomputed Shoup companion
+        params = params_for_degree(2048)  # q = 786433 -> uint64 datapath
+        eng = NttEngine(params)
+        a = rng.integers(0, params.q, (4, 2048)).astype(np.uint64)
+        with_shoup = gs_kernel_batch(a.copy(), eng._fwd_tw, params.q,
+                                     twiddles_shoup=eng._fwd_shoup)
+        on_the_fly = gs_kernel_batch(a.copy(), eng._fwd_tw, params.q)
+        assert np.array_equal(with_shoup, on_the_fly)
+
+    def test_shoup_table_values(self):
+        tw = np.asarray([1, 2, 12288], dtype=np.uint64)
+        got = shoup_table(tw, 12289)
+        expected = [(int(v) << 31) // 12289 for v in tw]
+        assert list(map(int, got)) == expected
+
+    def test_kernel_dtype_tiers(self):
+        assert kernel_dtype(7681) == np.uint32
+        assert kernel_dtype(12289) == np.uint32
+        assert kernel_dtype(786433) == np.uint64
+        assert kernel_dtype(UINT32_MAX_Q - 1) == np.uint32
+        assert kernel_dtype(UINT32_MAX_Q) == np.uint64
+
+
+class TestBatchedEngine:
+    @pytest.mark.parametrize("n", TIER_DEGREES)
+    def test_multiply_many_bit_identical(self, rng, n):
+        eng = NttEngine.for_degree(n)
+        a, b = random_batch(rng, eng.q, 6, n)
+        many = eng.multiply_many(a, b)
+        for k in range(6):
+            assert np.array_equal(many[k], eng.multiply(a[k], b[k]))
+
+    @pytest.mark.parametrize("n", TIER_DEGREES)
+    def test_forward_inverse_many(self, rng, n):
+        eng = NttEngine.for_degree(n)
+        a, _ = random_batch(rng, eng.q, 4, n)
+        fwd = eng.forward_many(a)
+        for k in range(4):
+            assert np.array_equal(fwd[k], eng.forward(a[k]))
+        assert np.array_equal(eng.inverse_many(fwd), a)
+
+    def test_matches_pure_python_reference(self, rng):
+        params = params_for_degree(64)
+        eng = NttEngine(params)
+        a, b = random_batch(rng, params.q, 3, 64)
+        many = eng.multiply_many(a, b)
+        for k in range(3):
+            ref = negacyclic_multiply([int(v) for v in a[k]],
+                                      [int(v) for v in b[k]], params)
+            assert list(map(int, many[k])) == ref
+
+    def test_batch_of_one(self, rng):
+        eng = NttEngine.for_degree(256)
+        a, b = random_batch(rng, eng.q, 1, 256)
+        assert np.array_equal(eng.multiply_many(a, b)[0],
+                              eng.multiply(a[0], b[0]))
+
+    def test_randomized_batches_property(self, rng):
+        """Random degrees x batch sizes stay bit-identical to per-pair."""
+        for trial in range(8):
+            n = int(rng.choice([8, 32, 256, 512]))
+            batch = int(rng.integers(1, 9))
+            eng = NttEngine.for_degree(n)
+            a, b = random_batch(rng, eng.q, batch, n)
+            many = eng.multiply_many(a, b)
+            for k in range(batch):
+                assert np.array_equal(many[k], eng.multiply(a[k], b[k]))
+
+    def test_shape_validation(self, rng):
+        eng = NttEngine.for_degree(256)
+        with pytest.raises(ValueError):
+            eng.multiply_many(np.zeros((2, 128), dtype=np.uint64),
+                              np.zeros((2, 128), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            eng.multiply_many(np.zeros((2, 256), dtype=np.uint64),
+                              np.zeros((3, 256), dtype=np.uint64))
+
+
+class TestAcceleratorBatch:
+    def test_batch_larger_than_superbanks(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        superbanks = CryptoPimChip().configure(256).parallel_multiplications
+        count = superbanks + 5
+        pairs = [(rng.integers(0, acc.q, 256), rng.integers(0, acc.q, 256))
+                 for _ in range(count)]
+        batch = acc.multiply_batch(pairs)
+        assert len(batch.results) == count
+        for (a, b), result in zip(pairs, batch.results):
+            assert np.array_equal(result, acc.multiply(a, b))
+
+    def test_worker_pool_matches_in_process(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        pairs = [(rng.integers(0, acc.q, 256), rng.integers(0, acc.q, 256))
+                 for _ in range(7)]
+        plain = acc.multiply_batch(pairs)
+        pooled = acc.multiply_batch(pairs, workers=3)
+        assert plain.completion_cycles == pooled.completion_cycles
+        for lhs, rhs in zip(plain.results, pooled.results):
+            assert np.array_equal(lhs, rhs)
+
+    def test_workers_clamped_to_superbanks(self):
+        acc = CryptoPIM.for_degree(1024)
+        superbanks = CryptoPimChip().configure(1024).parallel_multiplications
+        assert acc._superbank_workers(10_000, batch=10_000) == superbanks
+        assert acc._superbank_workers(2, batch=10_000) == 2
+        assert acc._superbank_workers(8, batch=3) == 3
+        assert acc._superbank_workers(None, batch=64) == 1
+        assert acc._superbank_workers(4, batch=1) == 1
+
+    def test_batch_counts_multiplications(self, rng):
+        acc = CryptoPIM.for_degree(256)
+        pairs = [(rng.integers(0, acc.q, 256), rng.integers(0, acc.q, 256))
+                 for _ in range(5)]
+        acc.multiply_batch(pairs)
+        assert acc.multiplications == 5
+        assert acc.last_report is not None
+
+    def test_bit_fidelity_machine_reused(self, rng):
+        acc = CryptoPIM.for_degree(64, fidelity="bit")
+        a = rng.integers(0, acc.q, 64)
+        b = rng.integers(0, acc.q, 64)
+        first = acc.multiply(a, b)
+        machine = acc._machine
+        second = acc.multiply(a, b)  # counter reset makes the cycle check pass
+        assert acc._machine is machine
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, CryptoPIM.for_degree(64).multiply(a, b))
+
+
+class TestBatchedRingTypes:
+    def test_polynomial_multiply_pairs(self, rng):
+        params = params_for_degree(256)
+        polys = [Polynomial(rng.integers(0, params.q, 256), params)
+                 for _ in range(6)]
+        pairs = list(zip(polys[:3], polys[3:]))
+        batched = Polynomial.multiply_pairs(pairs)
+        assert batched == [x * y for x, y in pairs]
+        assert Polynomial.multiply_pairs([]) == []
+
+    def test_polynomial_multiply_pairs_ring_mismatch(self, rng):
+        small = Polynomial(rng.integers(0, 7681, 256), params_for_degree(256))
+        big = Polynomial(rng.integers(0, 12289, 512), params_for_degree(512))
+        with pytest.raises(ValueError):
+            Polynomial.multiply_pairs([(small, big)])
+
+    def test_rns_multiply_pairs(self, rng):
+        basis = RnsBasis.generate(64, 3, bits=24)
+        polys = [RnsPolynomial.from_integers(
+                     basis, [int(v) for v in rng.integers(0, 1000, 64)])
+                 for _ in range(4)]
+        pairs = [(polys[0], polys[1]), (polys[2], polys[3])]
+        batched = RnsPolynomial.multiply_pairs(pairs)
+        assert batched == [x * y for x, y in pairs]
+        assert RnsPolynomial.multiply_pairs([]) == []
