@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Serving benchmark: batched windows vs serve-one-at-a-time.
+
+Drives :class:`repro.serve.CryptoPimService` with the synthetic load
+generator and compares, at equal offered load (same closed-loop client
+count), two configurations:
+
+* ``serial``  - ``batch_capacity=1, max_batch_wait_s=0``: every request
+  is its own chip dispatch (the no-batching strawman);
+* ``batched`` - the default adaptive window: capacity = the chip's
+  parallel-superbank count for the degree, small straggler deadline.
+
+The headline row is raw negacyclic polymul at n=1024 / q=12289, where
+PR 1 measured ~5x for ``multiply_many`` over a per-pair loop; the
+acceptance bar here is >= 4x end-to-end through the asyncio service.
+A second scenario offers open-loop Poisson traffic far above capacity
+at a small queue depth and records the typed rejection mix, showing the
+service sheds instead of queueing without bound.
+
+Writes machine-readable ``BENCH_serving.json`` at the repo root.
+``--smoke`` shrinks request counts for CI (<60 s total).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import (                                       # noqa: E402
+    PROFILES,
+    CryptoPimService,
+    ServiceConfig,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+async def closed_pair(profile_name: str, total: int, concurrency: int,
+                      seed: int) -> dict:
+    """Closed-loop throughput, serial vs batched, at equal offered load."""
+    profile = PROFILES[profile_name]
+    reports = {}
+    for label, config in (
+        ("serial", ServiceConfig(batch_capacity=1, max_batch_wait_s=0.0)),
+        ("batched", ServiceConfig()),
+    ):
+        async with CryptoPimService(config) as service:
+            report = await run_closed_loop(
+                service, profile, total_requests=total,
+                concurrency=concurrency, seed=seed)
+            reports[label] = report
+            print(f"  {label:8s} {report.render()}")
+    speedup = (reports["batched"].throughput_per_s
+               / reports["serial"].throughput_per_s)
+    print(f"  -> batched is x{speedup:.2f} over serve-one-at-a-time")
+    return {
+        "profile": profile_name,
+        "total_requests": total,
+        "concurrency": concurrency,
+        "serial": reports["serial"].to_dict(),
+        "batched": reports["batched"].to_dict(),
+        "speedup_batched_vs_serial": speedup,
+    }
+
+
+async def overload_scenario(total: int, seed: int) -> dict:
+    """Open-loop Poisson far above capacity: must shed, not queue."""
+    config = ServiceConfig(queue_depth=16, shed_watermark=0.5)
+    async with CryptoPimService(config) as service:
+        report = await run_open_loop(
+            service, PROFILES["polymul-1024"], rate_per_s=50_000,
+            total_requests=total, seed=seed)
+        print(f"  overload {report.render()}")
+        backlog_hw = service.metrics.gauge(
+            "queue_depth.polymul.1024").high_water
+    shed = sum(report.rejected.values())
+    if shed == 0:
+        raise SystemExit("overload scenario produced no rejections")
+    if backlog_hw > config.queue_depth:
+        raise SystemExit(f"queue grew past its bound ({backlog_hw})")
+    return {
+        "rate_per_s": 50_000,
+        "queue_depth": config.queue_depth,
+        "queue_high_water": backlog_hw,
+        "report": report.to_dict(),
+    }
+
+
+async def run(args: argparse.Namespace) -> dict:
+    total = 160 if args.smoke else 640
+    concurrency = 64
+    scenarios = []
+
+    print("closed loop: polymul n=1024 / q=12289 (headline)")
+    headline = await closed_pair("polymul-1024", total, concurrency, args.seed)
+    scenarios.append(headline)
+
+    print("closed loop: polymul n=256 / q=7681")
+    scenarios.append(await closed_pair(
+        "polymul-256", total, concurrency, args.seed))
+
+    if not args.smoke:
+        print("closed loop: mixed public-key traffic")
+        scenarios.append(await closed_pair(
+            "mixed-pk", total // 2, concurrency, args.seed))
+
+    print("open loop: overload at 50k req/s, queue_depth=16")
+    overload = await overload_scenario(
+        240 if args.smoke else 960, args.seed)
+
+    speedup = headline["speedup_batched_vs_serial"]
+    print(f"\nheadline: n=1024 batched serving x{speedup:.2f} vs serial "
+          f"(p99 {headline['batched']['latency_s']['p99'] * 1e3:.2f} ms)")
+    return {
+        "benchmark": "benchmarks/bench_serving.py",
+        "smoke": bool(args.smoke),
+        "headline_speedup_n1024": speedup,
+        "closed_loop": scenarios,
+        "overload": overload,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small request counts for CI (<60 s)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    payload = asyncio.run(run(args))
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {args.out}]")
+    if payload["headline_speedup_n1024"] < 4.0 and not args.smoke:
+        print("WARNING: headline speedup below the 4x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

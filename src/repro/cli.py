@@ -50,6 +50,23 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument("--limit", type=int, default=24,
                        help="micro-ops to print (0 = all)")
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the async serving layer with synthetic load")
+    serve.add_argument("--profile", default="polymul-1024",
+                       help="workload profile (see repro.serve.PROFILES)")
+    serve.add_argument("--requests", type=int, default=128)
+    serve.add_argument("--concurrency", type=int, default=32)
+    serve.add_argument("--rate", type=float, default=None,
+                       help="open-loop Poisson rate/s (default: closed loop)")
+    serve.add_argument("--tenants", type=int, default=1)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--queue-depth", type=int, default=128)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="batching window deadline")
+    serve.add_argument("--batch-capacity", type=int, default=None,
+                       help="override the chip-derived window capacity")
+
     return parser
 
 
@@ -74,6 +91,48 @@ def _cmd_microcode(args: argparse.Namespace) -> int:
     program = compile_multiplication(model)
     print(program.listing(limit=args.limit or None))
     return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import (
+        PROFILES,
+        CryptoPimService,
+        ServiceConfig,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    if args.profile not in PROFILES:
+        print(f"unknown profile {args.profile!r}; "
+              f"choose from: {', '.join(sorted(PROFILES))}")
+        return 2
+    config = ServiceConfig(
+        batch_capacity=args.batch_capacity,
+        max_batch_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth,
+    )
+
+    async def drive() -> int:
+        async with CryptoPimService(config) as service:
+            if args.rate is not None:
+                report = await run_open_loop(
+                    service, PROFILES[args.profile], rate_per_s=args.rate,
+                    total_requests=args.requests, seed=args.seed,
+                    tenants=args.tenants)
+            else:
+                report = await run_closed_loop(
+                    service, PROFILES[args.profile],
+                    total_requests=args.requests,
+                    concurrency=args.concurrency, seed=args.seed,
+                    tenants=args.tenants)
+            print(report.render())
+            print()
+            print(service.render_summary())
+        return 0
+
+    return asyncio.run(drive())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -122,6 +181,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_multiply(args)
     if args.command == "microcode":
         return _cmd_microcode(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     raise AssertionError(args.command)  # pragma: no cover
 
 

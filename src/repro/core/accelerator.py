@@ -158,6 +158,10 @@ class CryptoPIM:
         completes at ``(depth + k - 1) * stage_latency``, so a long batch
         approaches the Table II steady-state throughput.
 
+        An empty batch is a no-op: ``[]`` results on a zero-cycle
+        timeline, so callers that drain queues (the serving layer's batch
+        windows) never have to special-case "nothing arrived".
+
         Args:
             workers: if > 1, shard the batch across a ``multiprocessing``
                 pool.  The pool is capped at the chip's
@@ -170,7 +174,8 @@ class CryptoPIM:
 
         pairs = list(pairs)
         if not pairs:
-            raise ValueError("empty batch")
+            return BatchResult(results=[], completion_cycles=[],
+                               total_us=0.0, effective_throughput_per_s=0.0)
         if self.fidelity == "bit":
             results = [self.multiply(a, b) for a, b in pairs]
         else:

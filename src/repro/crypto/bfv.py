@@ -169,24 +169,44 @@ class BfvScheme:
         see values *before* any mod-q wraparound; exactness comes from an
         auxiliary CRT tower wide enough for |coefficients| < n*(q/2)^2.
         """
+        return self.multiply_many([(x, y)])[0]
+
+    def multiply_many(self, pairs) -> List[BfvCiphertext]:
+        """Rescaled tensor products of many ciphertext pairs at once.
+
+        Every pair's exact cross products share one
+        :meth:`_exact_negacyclic_many` invocation (one batched kernel
+        call per auxiliary CRT prime), the batch-window shape the serving
+        layer dispatches.  Bit-identical to per-pair :meth:`multiply`.
+        """
         q, t, n = self.params.q, self.t, self.params.n
-        x_c = [p.centered_coeffs() for p in x.parts]
-        y_c = [p.centered_coeffs() for p in y.parts]
-        out_len = len(x_c) + len(y_c) - 1
-        tensored = [[0] * n for _ in range(out_len)]
-        index_pairs = [(i, j) for i in range(len(x_c)) for j in range(len(y_c))]
-        products = self._exact_negacyclic_many(
-            [(x_c[i], y_c[j]) for i, j in index_pairs])
-        for (i, j), prod in zip(index_pairs, products):
-            row = tensored[i + j]
-            for k in range(n):
-                row[k] += prod[k]
-        parts = []
-        for row in tensored:
-            rounded = [((2 * t * v + q) // (2 * q)) % q for v in row]
-            parts.append(self._attach(Polynomial(
-                np.asarray(rounded, dtype=np.int64), self.params)))
-        return BfvCiphertext(parts=parts)
+        pairs = list(pairs)
+        flat = []
+        index_sets = []
+        for x, y in pairs:
+            x_c = [p.centered_coeffs() for p in x.parts]
+            y_c = [p.centered_coeffs() for p in y.parts]
+            index_pairs = [(i, j)
+                           for i in range(len(x_c)) for j in range(len(y_c))]
+            index_sets.append((len(x_c), len(y_c), index_pairs))
+            flat.extend((x_c[i], y_c[j]) for i, j in index_pairs)
+        products = iter(self._exact_negacyclic_many(flat))
+        out = []
+        for x_len, y_len, index_pairs in index_sets:
+            out_len = x_len + y_len - 1
+            tensored = [[0] * n for _ in range(out_len)]
+            for i, j in index_pairs:
+                row = tensored[i + j]
+                prod = next(products)
+                for k in range(n):
+                    row[k] += prod[k]
+            parts = []
+            for row in tensored:
+                rounded = [((2 * t * v + q) // (2 * q)) % q for v in row]
+                parts.append(self._attach(Polynomial(
+                    np.asarray(rounded, dtype=np.int64), self.params)))
+            out.append(BfvCiphertext(parts=parts))
+        return out
 
     def _aux(self):
         """The auxiliary CRT tower wide enough for |coeffs| < n*(q/2)^2."""

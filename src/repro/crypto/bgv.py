@@ -180,21 +180,38 @@ class BgvScheme:
         """Tensor product: output degree is the sum of input degrees.
 
         All cross products go through one batched kernel call."""
-        out_len = len(x.parts) + len(y.parts) - 1
-        zero = self._attach(Polynomial.zero(self.params))
-        parts = [zero for _ in range(out_len)]
-        pairs = [(xi, yj) for xi in x.parts for yj in y.parts]
-        products = iter(Polynomial.multiply_pairs(pairs))
-        for i in range(len(x.parts)):
-            for j in range(len(y.parts)):
-                parts[i + j] = parts[i + j] + next(products)
-        # |phase| multiplies, scaled by the ring expansion factor.  The
-        # worst case is n, but with high probability random phases grow by
-        # ~sqrt(n); we use 4*sqrt(n) as a high-probability bound (tests
-        # check actual noise stays below it) because the worst-case factor
-        # would declare the paper's single 20-bit modulus unusable.
-        bound = x.noise_bound * y.noise_bound * 4.0 * float(np.sqrt(self.params.n))
-        return BgvCiphertext(parts=parts, noise_bound=bound)
+        return self.multiply_many([(x, y)])[0]
+
+    def multiply_many(self, pairs) -> List[BgvCiphertext]:
+        """Tensor products of many ciphertext pairs, one kernel dispatch.
+
+        The serving layer's batch window closes over several independent
+        eval requests; flattening every pair's cross products into a
+        single :meth:`Polynomial.multiply_pairs` call amortises kernel
+        dispatch across the whole window exactly like the raw-polymul
+        path.  Bit-identical to ``[self.multiply(x, y) for x, y in pairs]``.
+        """
+        pairs = list(pairs)
+        flat = [(xi, yj) for x, y in pairs for xi in x.parts for yj in y.parts]
+        products = iter(Polynomial.multiply_pairs(flat))
+        out = []
+        for x, y in pairs:
+            out_len = len(x.parts) + len(y.parts) - 1
+            zero = self._attach(Polynomial.zero(self.params))
+            parts = [zero for _ in range(out_len)]
+            for i in range(len(x.parts)):
+                for j in range(len(y.parts)):
+                    parts[i + j] = parts[i + j] + next(products)
+            # |phase| multiplies, scaled by the ring expansion factor.  The
+            # worst case is n, but with high probability random phases grow
+            # by ~sqrt(n); we use 4*sqrt(n) as a high-probability bound
+            # (tests check actual noise stays below it) because the
+            # worst-case factor would declare the paper's single 20-bit
+            # modulus unusable.
+            bound = (x.noise_bound * y.noise_bound
+                     * 4.0 * float(np.sqrt(self.params.n)))
+            out.append(BgvCiphertext(parts=parts, noise_bound=bound))
+        return out
 
     def relinearize(self, ct: BgvCiphertext,
                     rlk: RelinearizationKey) -> BgvCiphertext:

@@ -15,8 +15,9 @@ production cipher.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +25,8 @@ from ..ntt.params import NttParams, params_for_degree
 from ..ntt.polynomial import MultiplierBackend, Polynomial
 from .sampling import cbd_poly, uniform_poly
 
-__all__ = ["KyberPke", "KyberPublicKey", "KyberSecretKey", "KyberCiphertext"]
+__all__ = ["KyberPke", "KyberPublicKey", "KyberSecretKey", "KyberCiphertext",
+           "KyberKem"]
 
 
 @dataclass(frozen=True)
@@ -140,3 +142,110 @@ class KyberPke:
         """Ring products one encryption performs: ``k^2`` for ``A^T r``
         plus ``k`` for ``t . r`` - the accelerator workload size."""
         return self.k * self.k + self.k
+
+    # -- batched traffic ------------------------------------------------------
+
+    def encrypt_many(self, pk: KyberPublicKey,
+                     messages: np.ndarray) -> List[KyberCiphertext]:
+        """Encrypt a ``(count, n)`` block of message bits in one batch.
+
+        All ``count * (k^2 + k)`` ring products - every encryption's
+        ``A^T r`` and ``t . r`` - go through a *single*
+        :meth:`Polynomial.multiply_pairs` call, which is the shape a
+        serving batch window hands the accelerator: one kernel dispatch
+        per window, not per client.  Noise is drawn per message in
+        submission order, so results match ``encrypt`` called in sequence
+        with the same generator.
+        """
+        block = np.asarray(messages)
+        if block.ndim != 2 or block.shape[1] != self.params.n:
+            raise ValueError(
+                f"messages must be (count, {self.params.n}) bits")
+        count, k = block.shape[0], self.k
+        transpose = [[pk.seed_matrix[j][i] for j in range(k)]
+                     for i in range(k)]
+        noises = []  # (r, e1, e2) per message, drawn in submission order
+        pairs = []
+        for _ in range(count):
+            r = self._noise_vec()
+            e1 = self._noise_vec()
+            e2 = self._attach(cbd_poly(self.params, self.rng, self.eta))
+            noises.append((r, e1, e2))
+            pairs.extend((transpose[i][j], r[j])
+                         for i in range(k) for j in range(k))
+            pairs.extend((pk.t[i], r[i]) for i in range(k))
+        products = iter(Polynomial.multiply_pairs(pairs))
+        out = []
+        for m in range(count):
+            r, e1, e2 = noises[m]
+            u = []
+            for i in range(k):
+                acc = self._zero()
+                for _ in range(k):
+                    acc = acc + next(products)
+                u.append(acc + e1[i])
+            v = self._zero()
+            for _ in range(k):
+                v = v + next(products)
+            encoded = self._attach(Polynomial(
+                block[m].astype(np.int64) * self._half_q, self.params))
+            out.append(KyberCiphertext(u=u, v=v + e2 + encoded))
+        return out
+
+    def decrypt_many(self, sk: KyberSecretKey,
+                     cts: List[KyberCiphertext]) -> List[np.ndarray]:
+        """Decrypt many ciphertexts; all ``count * k`` products batched."""
+        k = self.k
+        pairs = [(sk.s[i], ct.u[i]) for ct in cts for i in range(k)]
+        products = iter(Polynomial.multiply_pairs(pairs))
+        out = []
+        for ct in cts:
+            acc = self._zero()
+            for _ in range(k):
+                acc = acc + next(products)
+            centered = (ct.v - acc).centered_coeffs()
+            out.append((np.abs(centered) > self.params.q // 4).astype(np.int64))
+        return out
+
+
+class KyberKem:
+    """CPA-KEM over :class:`KyberPke`: encaps/decaps for serving traffic.
+
+    The shared secret is ``H(m)`` for a uniformly random message ``m`` -
+    the hashing shell of a KEM without the Fujisaki-Okamoto re-encryption
+    check (the CCA wrapper lives in :mod:`repro.crypto.fo_transform`;
+    this class is the *workload*, sized exactly like Kyber's encaps and
+    decaps inner operations, for the request-serving layer).
+    """
+
+    def __init__(self, k: int = 2, eta: int = 3,
+                 backend: Optional[MultiplierBackend] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.pke = KyberPke(k=k, eta=eta, backend=backend, rng=rng)
+
+    @staticmethod
+    def _kdf(message_bits: np.ndarray) -> bytes:
+        return hashlib.sha3_256(
+            np.asarray(message_bits, dtype=np.uint8).tobytes()).digest()
+
+    def keygen(self) -> tuple[KyberPublicKey, KyberSecretKey]:
+        return self.pke.keygen()
+
+    def encapsulate(self, pk: KyberPublicKey) -> Tuple[KyberCiphertext, bytes]:
+        ct, key = self.encapsulate_many(pk, 1)[0]
+        return ct, key
+
+    def encapsulate_many(
+            self, pk: KyberPublicKey,
+            count: int) -> List[Tuple[KyberCiphertext, bytes]]:
+        """``count`` encapsulations whose ring products share one batch."""
+        bits = self.pke.rng.integers(0, 2, (count, self.pke.params.n))
+        cts = self.pke.encrypt_many(pk, bits)
+        return [(ct, self._kdf(bits[i])) for i, ct in enumerate(cts)]
+
+    def decapsulate(self, sk: KyberSecretKey, ct: KyberCiphertext) -> bytes:
+        return self.decapsulate_many(sk, [ct])[0]
+
+    def decapsulate_many(self, sk: KyberSecretKey,
+                         cts: List[KyberCiphertext]) -> List[bytes]:
+        return [self._kdf(bits) for bits in self.pke.decrypt_many(sk, cts)]

@@ -187,6 +187,8 @@ def gs_kernel_batch(
     if values.ndim != 2:
         raise ValueError(f"expected a (batch, n) array, got shape {values.shape}")
     batch, n = values.shape
+    if batch == 0:
+        return values  # empty batch: nothing to transform
     if plan is None:
         plan = stage_plan(n)
     elif plan.n != n:

@@ -1,0 +1,60 @@
+"""repro.serve - async multi-tenant request serving for the CryptoPIM chip.
+
+The front door the ROADMAP's "heavy traffic" goal needs: typed requests,
+admission control and backpressure, adaptive batch windows sized to the
+chip's parallel superbanks, a scheduler that shares one simulated chip
+across parameter sets, latency/occupancy metrics, and a synthetic load
+generator.  See ``README.md`` ("Serving") and ``DESIGN.md`` section 7.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, TokenBucket
+from .batcher import BatchWindow, collect_batch
+from .loadgen import (
+    PROFILES,
+    LoadReport,
+    PayloadPool,
+    TrafficSpec,
+    WorkloadProfile,
+    run_closed_loop,
+    run_open_loop,
+)
+from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from .requests import (
+    Rejection,
+    RejectReason,
+    RequestKind,
+    ServeRequest,
+    ServeResult,
+)
+from .scheduler import BatchTiming, ChipGate, ChipTimeline
+from .service import KYBER_DEGREE, CryptoPimService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "TokenBucket",
+    "BatchWindow",
+    "collect_batch",
+    "PROFILES",
+    "LoadReport",
+    "PayloadPool",
+    "TrafficSpec",
+    "WorkloadProfile",
+    "run_closed_loop",
+    "run_open_loop",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "Rejection",
+    "RejectReason",
+    "RequestKind",
+    "ServeRequest",
+    "ServeResult",
+    "BatchTiming",
+    "ChipGate",
+    "ChipTimeline",
+    "KYBER_DEGREE",
+    "CryptoPimService",
+    "ServiceConfig",
+]

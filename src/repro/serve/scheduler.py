@@ -1,0 +1,146 @@
+"""Sharing one simulated chip across parameter sets.
+
+The service may hold open queues for several degrees (Kyber's n=256
+public-key traffic next to n=2048 homomorphic eval), but there is exactly
+one chip.  :class:`ChipGate` serialises batch execution behind an asyncio
+lock - the software analogue of the single physical bank array - and
+:class:`ChipTimeline` keeps the *analytic* account of what that chip has
+done: every dispatched batch advances a virtual cycle clock using the same
+``(depth + k - 1) * stage_cycles`` completion law as
+:func:`repro.core.controller.pipelined_completion_cycles`, charging the
+:data:`~repro.core.scheduler.RECONFIGURATION_CYCLES` switch-rewiring
+penalty whenever consecutive batches change degree (Section III-D.2's
+softbank/superbank re-arrangement).
+
+Per-request simulated completion cycles fall out of the same law: request
+``i`` of a ``count``-item batch lands on superbank ``i % S`` in pipeline
+slot ``i // S``, so it completes at
+``start + (depth + i // S) * stage_cycles``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional
+
+from ..arch.chip import CryptoPimChip, MAX_NATIVE_DEGREE
+from ..core.pipeline import PipelineModel
+from ..core.scheduler import RECONFIGURATION_CYCLES
+
+__all__ = ["BatchTiming", "ChipTimeline", "ChipGate"]
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Analytic timing of one dispatched batch."""
+
+    n: int
+    count: int
+    superbanks: int
+    start_cycle: int
+    reconfiguration_cycles: int
+    completion_cycles: List[int]   # absolute chip cycle per item, in order
+    completion_us: List[float]
+
+    @property
+    def end_cycle(self) -> int:
+        return self.completion_cycles[-1] if self.completion_cycles else self.start_cycle
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the configured superbanks' pipeline slots used."""
+        slots = self.superbanks * ceil(self.count / self.superbanks)
+        return self.count / slots if slots else 0.0
+
+
+@dataclass
+class ChipTimeline:
+    """Virtual cycle clock of the one shared chip."""
+
+    chip: CryptoPimChip = field(default_factory=CryptoPimChip)
+    clock_cycles: int = 0
+    configured_n: Optional[int] = None
+    reconfigurations: int = 0
+    busy_cycles: int = 0
+    batches: int = 0
+    items: int = 0
+    _models: Dict[int, PipelineModel] = field(default_factory=dict)
+
+    def _model(self, n: int) -> PipelineModel:
+        effective = min(n, MAX_NATIVE_DEGREE)
+        if effective not in self._models:
+            self._models[effective] = PipelineModel.for_degree(effective)
+        return self._models[effective]
+
+    def dispatch(self, n: int, count: int) -> BatchTiming:
+        """Advance the chip clock by one batch of ``count`` degree-``n``
+        multiplications and return per-item completion times."""
+        if count < 1:
+            raise ValueError("a dispatched batch must contain >= 1 item")
+        config = self.chip.configure(n)
+        model = self._model(n)
+        device = model.device
+        reconfig = 0
+        if self.configured_n is not None and self.configured_n != n:
+            reconfig = RECONFIGURATION_CYCLES
+            self.reconfigurations += 1
+        start = self.clock_cycles + reconfig
+        superbanks = config.parallel_multiplications
+        stage = model.stage_cycles * config.segments_per_polynomial
+        depth = model.depth
+        completions = [
+            start + (depth + i // superbanks) * stage for i in range(count)
+        ]
+        self.configured_n = n
+        self.clock_cycles = completions[-1]
+        self.busy_cycles += completions[-1] - start
+        self.batches += 1
+        self.items += count
+        return BatchTiming(
+            n=n,
+            count=count,
+            superbanks=superbanks,
+            start_cycle=start,
+            reconfiguration_cycles=reconfig,
+            completion_cycles=completions,
+            completion_us=[device.cycles_to_us(c) for c in completions],
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "clock_cycles": self.clock_cycles,
+            "busy_cycles": self.busy_cycles,
+            "utilization": (self.busy_cycles / self.clock_cycles
+                            if self.clock_cycles else 0.0),
+            "batches": self.batches,
+            "items": self.items,
+            "reconfigurations": self.reconfigurations,
+            "configured_n": self.configured_n,
+        }
+
+
+class ChipGate:
+    """Async mutual exclusion over the shared chip plus its timeline.
+
+    Queue workers race for the gate; holding it means "my batch occupies
+    the bank array now".  Execution order is the lock's FIFO order, which
+    keeps the reconfiguration accounting faithful: a degree change between
+    consecutive holders costs switch-rewiring cycles on the timeline.
+    """
+
+    def __init__(self, chip: Optional[CryptoPimChip] = None):
+        self.timeline = ChipTimeline(chip=chip or CryptoPimChip())
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "ChipGate":
+        await self._lock.acquire()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self._lock.release()
+
+    def capacity_for(self, n: int) -> int:
+        """Parallel-superbank capacity - the default batch window size."""
+        return self.timeline.chip.configure(n).parallel_multiplications

@@ -1,0 +1,471 @@
+"""The asyncio request service: the simulated deployment's front door.
+
+``CryptoPimService`` accepts typed requests (:mod:`repro.serve.requests`),
+runs them through admission control (:mod:`repro.serve.admission`), parks
+them in bounded per-parameter-set priority queues, and drains each queue
+with an adaptive batch window (:mod:`repro.serve.batcher`).  Closed
+batches race for the one simulated chip (:mod:`repro.serve.scheduler`)
+and execute through the *batched* kernel entry points grown in PR 1 -
+``CryptoPIM.multiply_batch``, ``NttEngine.forward_many``/``inverse_many``,
+``KyberKem.encapsulate_many``, ``BgvScheme.multiply_many``,
+``BfvScheme.multiply_many`` - so one kernel dispatch serves a whole
+window of clients.
+
+Handler table (payload contract per :class:`RequestKind`):
+
+========================  =====================================================
+POLYMUL                   ``(a, b)`` - two length-``n`` coefficient arrays
+NTT_FORWARD / NTT_INVERSE ``a`` - one length-``n`` coefficient array
+KYBER_ENCAPS              ``None`` - encapsulates against the service keypair
+KYBER_DECAPS              a :class:`KyberCiphertext` (e.g. from an encaps)
+BGV_ADD / BGV_MULTIPLY    ``(x, y)`` - two :class:`BgvCiphertext`
+BFV_ADD / BFV_MULTIPLY    ``(x, y)`` - two :class:`BfvCiphertext`
+========================  =====================================================
+
+Chip accounting: each request is charged its *multiplication equivalents*
+(a Kyber encapsulation is ``k^2 + k`` degree-256 products, a fresh BGV/BFV
+tensor is 4 degree-``n`` products, adds are conservatively charged one
+slot) and the shared :class:`ChipTimeline` turns those into per-request
+completion cycles via the pipeline's ``(depth + slot) * stage_cycles``
+law, including reconfiguration penalties when consecutive batches switch
+degree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.chip import CryptoPimChip, MAX_NATIVE_DEGREE
+from ..core.accelerator import CryptoPIM
+from ..crypto.bfv import BfvScheme
+from ..crypto.bgv import BgvScheme
+from ..crypto.kyber import KyberKem
+from ..ntt.transform import NttEngine
+from .admission import AdmissionController, AdmissionPolicy
+from .batcher import BatchWindow, collect_batch
+from .metrics import MetricsRegistry
+from .requests import (
+    Rejection,
+    RejectReason,
+    RequestKind,
+    ServeRequest,
+    ServeResult,
+)
+from .scheduler import ChipGate
+
+__all__ = ["ServiceConfig", "CryptoPimService", "KYBER_DEGREE"]
+
+#: Kyber is pinned to the paper's small operating point
+KYBER_DEGREE = 256
+
+_KEM_KINDS = (RequestKind.KYBER_ENCAPS, RequestKind.KYBER_DECAPS)
+_HE_PAIR_KINDS = (RequestKind.BGV_ADD, RequestKind.BGV_MULTIPLY,
+                  RequestKind.BFV_ADD, RequestKind.BFV_MULTIPLY)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All serving knobs in one place.
+
+    Args:
+        batch_capacity: items per batch window; ``None`` uses the chip's
+            parallel-superbank count for the queue's degree (the paper's
+            natural dispatch width).
+        max_batch_wait_s: batching deadline measured from the first
+            request of a window; 0 never sleeps (serve what is there).
+        queue_depth: bound of each per-parameter-set queue (backpressure).
+        tenant_rate / tenant_burst: per-tenant token bucket; ``None``
+            disables rate limiting.
+        shed_watermark: queue fraction beyond which low-priority traffic
+            is shed pre-emptively.
+        shed_priority_floor: minimum priority value considered sheddable.
+        fidelity: accelerator fidelity for POLYMUL execution.
+        seed: deterministic seed for service-held keys and KEM noise.
+    """
+
+    batch_capacity: Optional[int] = None
+    max_batch_wait_s: float = 2e-3
+    queue_depth: int = 128
+    tenant_rate: Optional[float] = None
+    tenant_burst: Optional[float] = None
+    shed_watermark: float = 0.75
+    shed_priority_floor: int = 1
+    fidelity: str = "fast"
+    seed: int = 0x5EED
+
+    def admission_policy(self) -> AdmissionPolicy:
+        return AdmissionPolicy(
+            queue_depth=self.queue_depth,
+            tenant_rate=self.tenant_rate,
+            tenant_burst=self.tenant_burst,
+            shed_watermark=self.shed_watermark,
+            shed_priority_floor=self.shed_priority_floor,
+        )
+
+
+@dataclass
+class _Pending:
+    """A queued request plus its completion plumbing."""
+
+    request: ServeRequest
+    enqueued_at: float
+    future: "asyncio.Future"
+
+
+@dataclass
+class _QueueState:
+    """One per-(kind, degree) priority queue and its drain task."""
+
+    key: Tuple[RequestKind, int]
+    queue: "asyncio.PriorityQueue"
+    window: BatchWindow
+    worker: "asyncio.Task" = field(repr=False, default=None)
+
+
+class CryptoPimService:
+    """Async multi-tenant front door over one simulated CryptoPIM chip."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig(),
+                 chip: Optional[CryptoPimChip] = None):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.gate = ChipGate(chip)
+        self._admission = AdmissionController(config.admission_policy())
+        self._queues: Dict[Tuple[RequestKind, int], _QueueState] = {}
+        self._running = True
+        self._rng = np.random.default_rng(config.seed)
+        # lazily-built execution contexts, keyed by degree
+        self._accelerators: Dict[int, CryptoPIM] = {}
+        self._engines: Dict[int, NttEngine] = {}
+        self._kyber = None          # (KyberKem, pk, sk)
+        self._bgv: Dict[int, tuple] = {}   # (scheme, sk)
+        self._bfv: Dict[int, tuple] = {}
+
+    # -- execution contexts (also used by the load generator) ---------------
+
+    def accelerator(self, n: int) -> CryptoPIM:
+        if n not in self._accelerators:
+            self._accelerators[n] = CryptoPIM.for_degree(
+                n, fidelity=self.config.fidelity)
+        return self._accelerators[n]
+
+    def engine(self, n: int) -> NttEngine:
+        if n not in self._engines:
+            self._engines[n] = NttEngine.for_degree(n)
+        return self._engines[n]
+
+    def kyber(self):
+        """The service KEM context ``(kem, pk, sk)`` (paper n=256 ring)."""
+        if self._kyber is None:
+            kem = KyberKem(rng=np.random.default_rng(self._rng.integers(2**63)))
+            pk, sk = kem.keygen()
+            self._kyber = (kem, pk, sk)
+        return self._kyber
+
+    def bgv(self, n: int):
+        """Service-held BGV context ``(scheme, sk)`` for degree ``n``."""
+        if n not in self._bgv:
+            scheme = BgvScheme(
+                n=n, rng=np.random.default_rng(self._rng.integers(2**63)))
+            self._bgv[n] = (scheme, scheme.keygen())
+        return self._bgv[n]
+
+    def bfv(self, n: int):
+        if n not in self._bfv:
+            scheme = BfvScheme(
+                n=n, rng=np.random.default_rng(self._rng.integers(2**63)))
+            self._bfv[n] = (scheme, scheme.keygen())
+        return self._bfv[n]
+
+    # -- admission -----------------------------------------------------------
+
+    def _validate(self, request: ServeRequest) -> Optional[Rejection]:
+        def refuse(reason: RejectReason, detail: str) -> Rejection:
+            return Rejection(request_id=request.request_id,
+                             kind=request.kind, n=request.n,
+                             reason=reason, detail=detail)
+
+        if not self._running:
+            return refuse(RejectReason.SHUTDOWN, "service is draining")
+        if not isinstance(request.kind, RequestKind):
+            return refuse(RejectReason.UNSUPPORTED,
+                          f"unknown kind {request.kind!r}")
+        n = request.n
+        if request.kind in _KEM_KINDS and n != KYBER_DEGREE:
+            return refuse(RejectReason.UNSUPPORTED,
+                          f"Kyber serves n={KYBER_DEGREE} only")
+        if n < 4 or n & (n - 1) or n > MAX_NATIVE_DEGREE:
+            return refuse(
+                RejectReason.UNSUPPORTED,
+                f"degree must be a power of two in [4, {MAX_NATIVE_DEGREE}]")
+        payload = request.payload
+        if request.kind is RequestKind.POLYMUL:
+            try:
+                a, b = payload
+                if len(a) != n or len(b) != n:
+                    raise ValueError
+            except (TypeError, ValueError):
+                return refuse(RejectReason.INVALID,
+                              f"POLYMUL payload must be two length-{n} vectors")
+        elif request.kind in (RequestKind.NTT_FORWARD, RequestKind.NTT_INVERSE):
+            try:
+                if len(payload) != n:
+                    raise ValueError
+            except (TypeError, ValueError):
+                return refuse(RejectReason.INVALID,
+                              f"NTT payload must be one length-{n} vector")
+        elif request.kind in _HE_PAIR_KINDS:
+            try:
+                x, y = payload
+                if not (hasattr(x, "parts") and hasattr(y, "parts")):
+                    raise TypeError
+            except (TypeError, ValueError):
+                return refuse(RejectReason.INVALID,
+                              "eval payload must be a ciphertext pair")
+        elif request.kind is RequestKind.KYBER_DECAPS:
+            if not hasattr(payload, "u"):
+                return refuse(RejectReason.INVALID,
+                              "decaps payload must be a Kyber ciphertext")
+        return None
+
+    # -- queue plumbing -------------------------------------------------------
+
+    def _queue_state(self, request: ServeRequest) -> _QueueState:
+        key = (request.kind, request.n)
+        state = self._queues.get(key)
+        if state is None:
+            capacity = (self.config.batch_capacity
+                        or self.gate.capacity_for(request.n))
+            state = _QueueState(
+                key=key,
+                queue=asyncio.PriorityQueue(),
+                window=BatchWindow(capacity=capacity,
+                                   max_wait_s=self.config.max_batch_wait_s),
+            )
+            state.worker = asyncio.get_running_loop().create_task(
+                self._drain(state), name=f"serve-{key[0].value}-{key[1]}")
+            self._queues[key] = state
+        return state
+
+    def _depth_gauge(self, state: _QueueState) -> None:
+        key = f"queue_depth.{state.key[0].value}.{state.key[1]}"
+        self.metrics.gauge(key).set(state.queue.qsize())
+        self.metrics.gauge("backlog_total").set(
+            sum(s.queue.qsize() for s in self._queues.values()))
+
+    async def submit(self, request: ServeRequest):
+        """Serve one request; resolves to a ServeResult or a Rejection."""
+        self.metrics.counter("requests_submitted").inc()
+        self.metrics.counter(f"requests.{request.kind.value}").inc()
+        rejection = self._validate(request)
+        state = None
+        if rejection is None:
+            state = self._queue_state(request)
+            rejection = self._admission.admit(request, state.queue.qsize())
+        if rejection is not None:
+            self.metrics.counter("requests_rejected").inc()
+            self.metrics.counter(f"rejected.{rejection.reason.value}").inc()
+            return rejection
+        loop = asyncio.get_running_loop()
+        pending = _Pending(request=request, enqueued_at=loop.time(),
+                           future=loop.create_future())
+        # priority first, then arrival order within a priority class
+        state.queue.put_nowait((request.priority, request.request_id, pending))
+        self._depth_gauge(state)
+        return await pending.future
+
+    # -- the drain loop -------------------------------------------------------
+
+    async def _drain(self, state: _QueueState) -> None:
+        kind, n = state.key
+        while True:
+            entries: List = []
+            try:
+                await collect_batch(state.queue, state.window, out=entries)
+            except asyncio.CancelledError:
+                # shutdown mid-window: fail over whatever was already
+                # dequeued instead of dropping it silently
+                for _, _, pending in entries:
+                    if not pending.future.done():
+                        pending.future.set_result(Rejection(
+                            request_id=pending.request.request_id,
+                            kind=kind, n=n,
+                            reason=RejectReason.SHUTDOWN,
+                            detail="service stopped mid-window"))
+                raise
+            self._depth_gauge(state)
+            pendings = [entry[2] for entry in entries]
+            close_time = asyncio.get_running_loop().time()
+            async with self.gate:
+                mults = self._mult_equivalents(kind, pendings)
+                timing = self.gate.timeline.dispatch(n, mults * len(pendings))
+                started = time.perf_counter()
+                try:
+                    values = self._execute(kind, n, pendings)
+                except Exception as error:  # malformed payload that passed
+                    self._fail_batch(pendings, kind, n, error)
+                    continue
+                service_s = time.perf_counter() - started
+            done_time = asyncio.get_running_loop().time()
+            self.metrics.counter("batches_dispatched").inc()
+            self.metrics.histogram("batch.size", unit="items").record(
+                len(pendings))
+            self.metrics.histogram("batch.occupancy", unit="frac").record(
+                len(pendings) / state.window.capacity)
+            for i, (pending, value) in enumerate(zip(pendings, values)):
+                cycle_idx = (i + 1) * mults - 1
+                result = ServeResult(
+                    request_id=pending.request.request_id,
+                    kind=kind,
+                    n=n,
+                    value=value,
+                    queue_wait_s=close_time - pending.enqueued_at,
+                    service_s=service_s,
+                    total_s=done_time - pending.enqueued_at,
+                    batch_size=len(pendings),
+                    completion_cycle=timing.completion_cycles[cycle_idx],
+                    completion_us=timing.completion_us[cycle_idx],
+                )
+                self._record_latency(result)
+                if not pending.future.done():
+                    pending.future.set_result(result)
+
+    def _record_latency(self, result: ServeResult) -> None:
+        self.metrics.counter("requests_completed").inc()
+        self.metrics.histogram("latency.e2e").record(result.total_s)
+        self.metrics.histogram("latency.queue_wait").record(result.queue_wait_s)
+        self.metrics.histogram("latency.service").record(result.service_s)
+        self.metrics.histogram(
+            f"latency.e2e.{result.kind.value}").record(result.total_s)
+
+    def _fail_batch(self, pendings: List[_Pending], kind: RequestKind,
+                    n: int, error: Exception) -> None:
+        self.metrics.counter("requests_rejected").inc(len(pendings))
+        self.metrics.counter(
+            f"rejected.{RejectReason.INVALID.value}").inc(len(pendings))
+        for pending in pendings:
+            if not pending.future.done():
+                pending.future.set_result(Rejection(
+                    request_id=pending.request.request_id, kind=kind, n=n,
+                    reason=RejectReason.INVALID, detail=repr(error)))
+
+    # -- handlers -------------------------------------------------------------
+
+    def _mult_equivalents(self, kind: RequestKind,
+                          pendings: List[_Pending]) -> int:
+        """Chip multiplications charged per request of this batch."""
+        if kind in (RequestKind.KYBER_ENCAPS,):
+            kem, _, _ = self.kyber()
+            return kem.pke.multiplications_per_encrypt()
+        if kind is RequestKind.KYBER_DECAPS:
+            kem, _, _ = self.kyber()
+            return kem.pke.k
+        if kind in (RequestKind.BGV_MULTIPLY, RequestKind.BFV_MULTIPLY):
+            x, y = pendings[0].request.payload
+            return len(x.parts) * len(y.parts)
+        # POLYMUL and each NTT direction occupy one pipeline pass; adds are
+        # vector ops an order cheaper but still charged one slot
+        return 1
+
+    def _execute(self, kind: RequestKind, n: int,
+                 pendings: List[_Pending]) -> List:
+        payloads = [p.request.payload for p in pendings]
+        if kind is RequestKind.POLYMUL:
+            return self.accelerator(n).multiply_batch(payloads).results
+        if kind is RequestKind.NTT_FORWARD:
+            block = np.stack([np.asarray(p, dtype=np.uint64)
+                              for p in payloads])
+            return list(self.engine(n).forward_many(block))
+        if kind is RequestKind.NTT_INVERSE:
+            block = np.stack([np.asarray(p, dtype=np.uint64)
+                              for p in payloads])
+            return list(self.engine(n).inverse_many(block))
+        if kind is RequestKind.KYBER_ENCAPS:
+            kem, pk, _ = self.kyber()
+            return kem.encapsulate_many(pk, len(pendings))
+        if kind is RequestKind.KYBER_DECAPS:
+            kem, _, sk = self.kyber()
+            return kem.decapsulate_many(sk, payloads)
+        if kind is RequestKind.BGV_ADD:
+            scheme, _ = self.bgv(n)
+            return [scheme.add(x, y) for x, y in payloads]
+        if kind is RequestKind.BGV_MULTIPLY:
+            scheme, _ = self.bgv(n)
+            return scheme.multiply_many(payloads)
+        if kind is RequestKind.BFV_ADD:
+            scheme, _ = self.bfv(n)
+            return [scheme.add(x, y) for x, y in payloads]
+        if kind is RequestKind.BFV_MULTIPLY:
+            scheme, _ = self.bfv(n)
+            return scheme.multiply_many(payloads)
+        raise AssertionError(f"unhandled kind {kind}")  # pragma: no cover
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Wait until every queue is empty and all in-flight work is done."""
+        while any(s.queue.qsize() for s in self._queues.values()):
+            await asyncio.sleep(0.001)
+        async with self.gate:
+            pass  # the last batch has released the chip
+
+    async def stop(self) -> None:
+        """Refuse new work, cancel drain loops, reject queued requests."""
+        self._running = False
+        for state in self._queues.values():
+            if state.worker is not None:
+                state.worker.cancel()
+        for state in self._queues.values():
+            if state.worker is not None:
+                try:
+                    await state.worker
+                except asyncio.CancelledError:
+                    pass
+            while True:
+                try:
+                    _, _, pending = state.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not pending.future.done():
+                    pending.future.set_result(Rejection(
+                        request_id=pending.request.request_id,
+                        kind=pending.request.kind, n=pending.request.n,
+                        reason=RejectReason.SHUTDOWN,
+                        detail="service stopped"))
+
+    async def __aenter__(self) -> "CryptoPimService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Machine-readable service state: metrics + chip timeline."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "chip": self.gate.timeline.snapshot(),
+            "queues": {
+                f"{kind.value}.{n}": state.queue.qsize()
+                for (kind, n), state in self._queues.items()
+            },
+        }
+
+    def render_summary(self) -> str:
+        chip = self.gate.timeline.snapshot()
+        lines = [
+            self.metrics.breakdown(),
+            "chip timeline:",
+            f"    clock {chip['clock_cycles']} cycles, "
+            f"busy {chip['busy_cycles']} "
+            f"(utilization {chip['utilization']:.1%})",
+            f"    {chip['batches']} batches / {chip['items']} "
+            f"mult-equivalents, {chip['reconfigurations']} reconfigurations",
+        ]
+        return "\n".join(lines)

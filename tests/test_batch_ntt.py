@@ -175,6 +175,38 @@ class TestAcceleratorBatch:
         for lhs, rhs in zip(plain.results, pooled.results):
             assert np.array_equal(lhs, rhs)
 
+    @pytest.mark.parametrize("n", TIER_DEGREES)
+    def test_worker_pool_bit_identical_all_moduli(self, rng, n):
+        """Pool sharding is deterministic: bit-identical to the serial
+        path for every paper modulus tier and ragged batch sizes that do
+        not divide evenly across workers."""
+        acc = CryptoPIM.for_degree(n)
+        for batch, workers in ((1, 2), (3, 2), (5, 3), (9, 4)):
+            pairs = [(rng.integers(0, acc.q, n), rng.integers(0, acc.q, n))
+                     for _ in range(batch)]
+            serial = acc.multiply_batch(pairs)
+            pooled = acc.multiply_batch(pairs, workers=workers)
+            assert serial.completion_cycles == pooled.completion_cycles
+            assert len(pooled.results) == batch
+            for lhs, rhs in zip(serial.results, pooled.results):
+                assert np.array_equal(lhs, rhs)
+
+    def test_empty_batch_is_noop(self):
+        """Regression: an empty batch returns [] on a zero-cycle timeline
+        instead of raising (the serving layer drains queues that may have
+        been emptied by shedding)."""
+        batch = CryptoPIM.for_degree(256).multiply_batch([])
+        assert batch.results == []
+        assert batch.completion_cycles == []
+        assert batch.total_us == 0.0
+        assert batch.effective_throughput_per_s == 0.0
+
+    def test_empty_kernel_batch_is_noop(self):
+        empty = np.empty((0, 256), dtype=np.uint64)
+        eng = NttEngine.for_degree(256)
+        out = gs_kernel_batch(empty, eng._fwd_tw.astype(np.uint64), eng.q)
+        assert out.shape == (0, 256)
+
     def test_workers_clamped_to_superbanks(self):
         acc = CryptoPIM.for_degree(1024)
         superbanks = CryptoPimChip().configure(1024).parallel_multiplications

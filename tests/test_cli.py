@@ -19,6 +19,12 @@ class TestParser:
         assert args.n == 1024
         assert args.fidelity == "fast"
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.profile == "polymul-1024"
+        assert args.rate is None
+        assert args.batch_capacity is None
+
 
 class TestCommands:
     @pytest.mark.parametrize("command,marker", [
@@ -83,3 +89,20 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "reproduction summary" in out
         assert "Claims scoreboard" in out
+
+    def test_serve_bench_closed_loop(self, capsys):
+        assert main(["serve-bench", "--profile", "polymul-256",
+                     "--requests", "24", "--concurrency", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "polymul-256" in out
+        assert "serving metrics" in out
+        assert "chip timeline" in out
+
+    def test_serve_bench_open_loop(self, capsys):
+        assert main(["serve-bench", "--profile", "polymul-256",
+                     "--requests", "16", "--rate", "4000"]) == 0
+        assert "[open  ]" in capsys.readouterr().out
+
+    def test_serve_bench_unknown_profile(self, capsys):
+        assert main(["serve-bench", "--profile", "nope"]) == 2
+        assert "unknown profile" in capsys.readouterr().out

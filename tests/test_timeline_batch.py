@@ -73,6 +73,8 @@ class TestBatchApi:
         assert batch.effective_throughput_per_s == pytest.approx(
             553311, rel=0.15)
 
-    def test_empty_batch_rejected(self):
-        with pytest.raises(ValueError):
-            CryptoPIM.for_degree(256).multiply_batch([])
+    def test_empty_batch_is_noop(self):
+        batch = CryptoPIM.for_degree(256).multiply_batch([])
+        assert batch.results == []
+        assert batch.completion_cycles == []
+        assert batch.total_us == 0.0
