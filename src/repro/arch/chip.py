@@ -100,6 +100,15 @@ class CryptoPimChip:
         cfg = self.configure(n)
         return per_pipeline_throughput * cfg.parallel_multiplications / cfg.segments_per_polynomial
 
+    def replicate(self, count: int) -> "list[CryptoPimChip]":
+        """``count`` independent chips with this chip's bank budget and
+        pipeline variant - the hardware inventory of a multi-chip fleet
+        (each replica reconfigures its banks on its own)."""
+        if count < 1:
+            raise ValueError("a fleet needs at least one chip")
+        return [CryptoPimChip(self.total_banks, self.variant)
+                for _ in range(count)]
+
     def memory_cells(self) -> int:
         """Total ReRAM cells across all banks (32k sizing)."""
         plan = plan_bank(MAX_NATIVE_DEGREE, self.variant)

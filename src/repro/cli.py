@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batching window deadline")
     serve.add_argument("--batch-capacity", type=int, default=None,
                        help="override the chip-derived window capacity")
+    serve.add_argument("--chips", type=int, default=1,
+                       help="size of the sharded chip fleet")
+    serve.add_argument("--routing", choices=("affinity", "round_robin"),
+                       default="affinity",
+                       help="fleet routing policy (default: degree-affinity "
+                            "with power-of-two-choices balancing)")
 
     return parser
 
@@ -112,6 +118,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         batch_capacity=args.batch_capacity,
         max_batch_wait_s=args.max_wait_ms / 1e3,
         queue_depth=args.queue_depth,
+        num_chips=args.chips,
+        routing=args.routing,
     )
 
     async def drive() -> int:

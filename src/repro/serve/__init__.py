@@ -9,6 +9,7 @@ generator.  See ``README.md`` ("Serving") and ``DESIGN.md`` section 7.
 
 from .admission import AdmissionController, AdmissionPolicy, TokenBucket
 from .batcher import BatchWindow, collect_batch
+from .fleet import ChipFleet, ChipShard, FleetDrained
 from .loadgen import (
     PROFILES,
     LoadReport,
@@ -35,6 +36,9 @@ __all__ = [
     "TokenBucket",
     "BatchWindow",
     "collect_batch",
+    "ChipFleet",
+    "ChipShard",
+    "FleetDrained",
     "PROFILES",
     "LoadReport",
     "PayloadPool",

@@ -4,13 +4,14 @@ Three gates run in order before a request is ever enqueued:
 
 1. **validation** - unsupported kind/degree or malformed payloads are
    refused outright (``UNSUPPORTED`` / ``INVALID``);
-2. **per-tenant token bucket** - each tenant drains a bucket refilled at
-   ``tenant_rate`` requests/s with ``tenant_burst`` capacity
-   (``RATE_LIMITED``);
-3. **backpressure** - a full per-parameter-set queue refuses everything
+2. **backpressure** - a full per-parameter-set queue refuses everything
    (``QUEUE_FULL``), and once the queue crosses its shed watermark,
    requests at or below the priority shed floor are dropped early
-   (``OVERLOAD_SHED``) so urgent traffic keeps its headroom.
+   (``OVERLOAD_SHED``) so urgent traffic keeps its headroom;
+3. **per-tenant token bucket** - each tenant drains a bucket refilled at
+   ``tenant_rate`` requests/s with ``tenant_burst`` capacity
+   (``RATE_LIMITED``).  This gate runs *last* so refusals the service
+   issues on its own account never charge the tenant's quota.
 
 All gates answer with a typed :class:`~repro.serve.requests.Rejection`
 rather than raising - shedding is a result the client is meant to see.
@@ -112,15 +113,15 @@ class AdmissionController:
 
     def admit(self, request: ServeRequest,
               queue_size: int) -> Optional[Rejection]:
-        """``None`` if the request may be enqueued, else the typed refusal."""
-        bucket = self._bucket(request.tenant)
-        if bucket is not None and not bucket.try_take():
-            return Rejection(
-                request_id=request.request_id, kind=request.kind,
-                n=request.n, reason=RejectReason.RATE_LIMITED,
-                detail=f"tenant {request.tenant!r} exceeded "
-                       f"{self.policy.tenant_rate:g} req/s",
-            )
+        """``None`` if the request may be enqueued, else the typed refusal.
+
+        The backpressure gates run *before* the tenant bucket is drained:
+        a request the service refuses on its own account (full queue,
+        overload shed) must not burn the tenant's quota, or a shedding
+        service would go on to rate-limit innocent tenants once the
+        backlog clears.  Tokens are only consumed for requests the
+        service is actually willing to enqueue.
+        """
         if queue_size >= self.policy.queue_depth:
             return Rejection(
                 request_id=request.request_id, kind=request.kind,
@@ -135,5 +136,13 @@ class AdmissionController:
                 n=request.n, reason=RejectReason.OVERLOAD_SHED,
                 detail=f"backlog {queue_size} over watermark "
                        f"{watermark:.0f}; priority {request.priority} shed",
+            )
+        bucket = self._bucket(request.tenant)
+        if bucket is not None and not bucket.try_take():
+            return Rejection(
+                request_id=request.request_id, kind=request.kind,
+                n=request.n, reason=RejectReason.RATE_LIMITED,
+                detail=f"tenant {request.tenant!r} exceeded "
+                       f"{self.policy.tenant_rate:g} req/s",
             )
         return None

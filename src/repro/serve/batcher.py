@@ -71,12 +71,32 @@ async def collect_batch(queue: "asyncio.Queue", window: BatchWindow,
         return items
     loop = asyncio.get_running_loop()
     deadline = loop.time() + window.max_wait_s
-    while len(items) < window.capacity:
-        remaining = deadline - loop.time()
-        if remaining <= 0:
-            break
-        try:
-            items.append(await asyncio.wait_for(queue.get(), remaining))
-        except asyncio.TimeoutError:
-            break
+    # A bare ``wait_for(queue.get(), remaining)`` has the classic item-loss
+    # race: the timeout cancellation can land *after* ``get()`` already
+    # dequeued, silently dropping that request.  Instead the ``get()`` task
+    # is shielded (the deadline never cancels it) and kept across loop
+    # iterations; on exit, a get that completed during the timeout window
+    # still delivers its item into the batch.
+    getter: "asyncio.Task | None" = None
+    try:
+        while len(items) < window.capacity:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            if getter is None:
+                getter = loop.create_task(queue.get())
+            try:
+                await asyncio.wait_for(asyncio.shield(getter), remaining)
+            except asyncio.TimeoutError:
+                break
+            items.append(getter.result())
+            getter = None
+    finally:
+        if getter is not None:
+            if getter.done() and not getter.cancelled():
+                # the get raced the deadline (or an outer cancellation) and
+                # won: the item belongs to this batch, never the floor
+                items.append(getter.result())
+            else:
+                getter.cancel()
     return items

@@ -82,6 +82,17 @@ PROFILES: Dict[str, WorkloadProfile] = {
         TrafficSpec(RequestKind.BGV_MULTIPLY, 2048, weight=0.5),
         TrafficSpec(RequestKind.BGV_ADD, 2048, weight=0.5),
     )),
+    # degree-mixed fleet workload: Kyber KEM flows (n=256) interleaved
+    # with mid-size polymul and SEAL-ring HE tensors (n=2048) - on one
+    # chip every degree switch pays the reconfiguration penalty; a fleet
+    # with degree-affinity routing pins each degree to its own shards
+    "mixed-kyber-he": WorkloadProfile("mixed-kyber-he", (
+        TrafficSpec(RequestKind.KYBER_ENCAPS, KYBER_DEGREE, weight=0.25),
+        TrafficSpec(RequestKind.KYBER_DECAPS, KYBER_DEGREE, weight=0.10),
+        TrafficSpec(RequestKind.POLYMUL, 1024, weight=0.25),
+        TrafficSpec(RequestKind.BGV_MULTIPLY, 2048, weight=0.25),
+        TrafficSpec(RequestKind.BGV_ADD, 2048, weight=0.15),
+    )),
 }
 
 

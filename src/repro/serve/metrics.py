@@ -36,16 +36,26 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time level (queue depth, backlog); remembers its high-water."""
+    """Point-in-time level (queue depth, backlog); remembers its high-water.
+
+    The high-water mark is seeded by the *first* ``set`` rather than
+    starting at 0.0, so a gauge that only ever sees negative values (a
+    drift, a deficit) reports its true maximum instead of a spurious 0.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
         self.high_water = 0.0
+        self._touched = False
 
     def set(self, value: float) -> None:
         self.value = float(value)
-        self.high_water = max(self.high_water, self.value)
+        if self._touched:
+            self.high_water = max(self.high_water, self.value)
+        else:
+            self.high_water = self.value
+            self._touched = True
 
 
 class LatencyHistogram:

@@ -90,6 +90,7 @@ class ServeResult:
     batch_size: int           # occupancy of the batch this request rode in
     completion_cycle: int     # simulated chip cycle the result came back
     completion_us: float      # same, in microseconds of chip time
+    chip: int = 0             # fleet shard index the batch executed on
 
     @property
     def ok(self) -> bool:

@@ -57,13 +57,23 @@ class BatchTiming:
 
 @dataclass
 class ChipTimeline:
-    """Virtual cycle clock of the one shared chip."""
+    """Virtual cycle clock of one chip.
+
+    Cycle accounting is exhaustive: every clock tick is exactly one of
+    *busy* (compute inside a batch span), *reconfiguration* (switch
+    rewiring between degree changes) or *idle* (externally injected gaps,
+    e.g. a fleet shard waiting for work), so
+    ``busy_cycles + reconfig_cycles + idle_cycles == clock_cycles`` holds
+    at all times.
+    """
 
     chip: CryptoPimChip = field(default_factory=CryptoPimChip)
     clock_cycles: int = 0
     configured_n: Optional[int] = None
     reconfigurations: int = 0
     busy_cycles: int = 0
+    reconfig_cycles: int = 0
+    idle_cycles: int = 0
     batches: int = 0
     items: int = 0
     _models: Dict[int, PipelineModel] = field(default_factory=dict)
@@ -86,6 +96,7 @@ class ChipTimeline:
         if self.configured_n is not None and self.configured_n != n:
             reconfig = RECONFIGURATION_CYCLES
             self.reconfigurations += 1
+            self.reconfig_cycles += reconfig
         start = self.clock_cycles + reconfig
         superbanks = config.parallel_multiplications
         stage = model.stage_cycles * config.segments_per_polynomial
@@ -108,10 +119,36 @@ class ChipTimeline:
             completion_us=[device.cycles_to_us(c) for c in completions],
         )
 
+    def span_estimate(self, n: int) -> int:
+        """Cycles of one full degree-``n`` pipeline pass (depth x stage) -
+        the natural unit of backlog for fleet routing heuristics."""
+        config = self.chip.configure(n)
+        model = self._model(n)
+        stage = model.stage_cycles * config.segments_per_polynomial
+        return model.depth * stage
+
+    def advance_idle(self, cycles: int) -> None:
+        """Advance the clock through ``cycles`` of explicit idleness
+        (a fleet shard waiting while its siblings work)."""
+        if cycles < 0:
+            raise ValueError("idle cycles must be >= 0")
+        self.clock_cycles += cycles
+        self.idle_cycles += cycles
+
     def snapshot(self) -> dict:
+        """Machine-readable state.
+
+        ``utilization`` is **compute over total** (``busy / clock``);
+        reconfiguration rewiring is accounted separately as
+        ``reconfig_cycles`` so degree-mixed traffic is not silently folded
+        into either busy or idle time.  The exported fields satisfy
+        ``busy_cycles + reconfig_cycles + idle_cycles == clock_cycles``.
+        """
         return {
             "clock_cycles": self.clock_cycles,
             "busy_cycles": self.busy_cycles,
+            "reconfig_cycles": self.reconfig_cycles,
+            "idle_cycles": self.idle_cycles,
             "utilization": (self.busy_cycles / self.clock_cycles
                             if self.clock_cycles else 0.0),
             "batches": self.batches,

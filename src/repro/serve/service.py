@@ -48,6 +48,7 @@ from ..crypto.kyber import KyberKem
 from ..ntt.transform import NttEngine
 from .admission import AdmissionController, AdmissionPolicy
 from .batcher import BatchWindow, collect_batch
+from .fleet import ChipFleet, FleetDrained
 from .metrics import MetricsRegistry
 from .requests import (
     Rejection,
@@ -86,6 +87,10 @@ class ServiceConfig:
         shed_priority_floor: minimum priority value considered sheddable.
         fidelity: accelerator fidelity for POLYMUL execution.
         seed: deterministic seed for service-held keys and KEM noise.
+        num_chips: size of the simulated chip fleet; 1 (the default) is
+            PR 2's single shared chip, unchanged.
+        routing: fleet routing policy, ``"affinity"`` (degree-affinity +
+            power-of-two-choices + spill) or ``"round_robin"``.
     """
 
     batch_capacity: Optional[int] = None
@@ -97,6 +102,8 @@ class ServiceConfig:
     shed_priority_floor: int = 1
     fidelity: str = "fast"
     seed: int = 0x5EED
+    num_chips: int = 1
+    routing: str = "affinity"
 
     def admission_policy(self) -> AdmissionPolicy:
         return AdmissionPolicy(
@@ -128,13 +135,19 @@ class _QueueState:
 
 
 class CryptoPimService:
-    """Async multi-tenant front door over one simulated CryptoPIM chip."""
+    """Async multi-tenant front door over a fleet of simulated chips.
+
+    ``num_chips=1`` (the default) behaves exactly like PR 2's single
+    shared chip; larger fleets shard batch windows across shards via
+    :class:`~repro.serve.fleet.ChipFleet`.
+    """
 
     def __init__(self, config: ServiceConfig = ServiceConfig(),
                  chip: Optional[CryptoPimChip] = None):
         self.config = config
         self.metrics = MetricsRegistry()
-        self.gate = ChipGate(chip)
+        self.fleet = ChipFleet(num_chips=config.num_chips, chip=chip,
+                               policy=config.routing, seed=config.seed)
         self._admission = AdmissionController(config.admission_policy())
         self._queues: Dict[Tuple[RequestKind, int], _QueueState] = {}
         self._running = True
@@ -145,6 +158,12 @@ class CryptoPimService:
         self._kyber = None          # (KyberKem, pk, sk)
         self._bgv: Dict[int, tuple] = {}   # (scheme, sk)
         self._bfv: Dict[int, tuple] = {}
+
+    @property
+    def gate(self) -> ChipGate:
+        """Shard 0's gate - the single-chip compatibility handle (with
+        ``num_chips=1`` this is *the* chip, exactly as in PR 2)."""
+        return self.fleet.gate
 
     # -- execution contexts (also used by the load generator) ---------------
 
@@ -240,7 +259,7 @@ class CryptoPimService:
         state = self._queues.get(key)
         if state is None:
             capacity = (self.config.batch_capacity
-                        or self.gate.capacity_for(request.n))
+                        or self.fleet.capacity_for(request.n))
             state = _QueueState(
                 key=key,
                 queue=asyncio.PriorityQueue(),
@@ -301,18 +320,29 @@ class CryptoPimService:
             self._depth_gauge(state)
             pendings = [entry[2] for entry in entries]
             close_time = asyncio.get_running_loop().time()
-            async with self.gate:
-                mults = self._mult_equivalents(kind, pendings)
-                timing = self.gate.timeline.dispatch(n, mults * len(pendings))
-                started = time.perf_counter()
-                try:
-                    values = self._execute(kind, n, pendings)
-                except Exception as error:  # malformed payload that passed
-                    self._fail_batch(pendings, kind, n, error)
-                    continue
-                service_s = time.perf_counter() - started
+            try:
+                async with self.fleet.lease(n) as shard:
+                    mults = self._mult_equivalents(kind, pendings)
+                    timing = shard.gate.timeline.dispatch(
+                        n, mults * len(pendings))
+                    started = time.perf_counter()
+                    try:
+                        values = self._execute(kind, n, pendings)
+                    except Exception as error:  # malformed payload that passed
+                        self._fail_batch(pendings, kind, n, error)
+                        continue
+                    service_s = time.perf_counter() - started
+                    chip_index = shard.index
+            except FleetDrained:
+                # every chip is administratively drained: fail the window
+                # over with typed rejections rather than dropping it
+                self._fail_batch(pendings, kind, n,
+                                 reason=RejectReason.SHUTDOWN,
+                                 detail="every fleet chip is drained")
+                continue
             done_time = asyncio.get_running_loop().time()
             self.metrics.counter("batches_dispatched").inc()
+            self.metrics.counter(f"fleet.dispatched.chip{chip_index}").inc()
             self.metrics.histogram("batch.size", unit="items").record(
                 len(pendings))
             self.metrics.histogram("batch.occupancy", unit="frac").record(
@@ -330,6 +360,7 @@ class CryptoPimService:
                     batch_size=len(pendings),
                     completion_cycle=timing.completion_cycles[cycle_idx],
                     completion_us=timing.completion_us[cycle_idx],
+                    chip=chip_index,
                 )
                 self._record_latency(result)
                 if not pending.future.done():
@@ -344,15 +375,18 @@ class CryptoPimService:
             f"latency.e2e.{result.kind.value}").record(result.total_s)
 
     def _fail_batch(self, pendings: List[_Pending], kind: RequestKind,
-                    n: int, error: Exception) -> None:
+                    n: int, error: Optional[Exception] = None,
+                    reason: RejectReason = RejectReason.INVALID,
+                    detail: Optional[str] = None) -> None:
+        detail = repr(error) if detail is None else detail
         self.metrics.counter("requests_rejected").inc(len(pendings))
         self.metrics.counter(
-            f"rejected.{RejectReason.INVALID.value}").inc(len(pendings))
+            f"rejected.{reason.value}").inc(len(pendings))
         for pending in pendings:
             if not pending.future.done():
                 pending.future.set_result(Rejection(
                     request_id=pending.request.request_id, kind=kind, n=n,
-                    reason=RejectReason.INVALID, detail=repr(error)))
+                    reason=reason, detail=detail))
 
     # -- handlers -------------------------------------------------------------
 
@@ -411,8 +445,7 @@ class CryptoPimService:
         """Wait until every queue is empty and all in-flight work is done."""
         while any(s.queue.qsize() for s in self._queues.values()):
             await asyncio.sleep(0.001)
-        async with self.gate:
-            pass  # the last batch has released the chip
+        await self.fleet.quiesce()  # the last batch has released its chip
 
     async def stop(self) -> None:
         """Refuse new work, cancel drain loops, reject queued requests."""
@@ -447,10 +480,15 @@ class CryptoPimService:
     # -- reporting ------------------------------------------------------------
 
     def summary(self) -> dict:
-        """Machine-readable service state: metrics + chip timeline."""
+        """Machine-readable service state: metrics + chip/fleet timelines.
+
+        ``chip`` remains shard 0's timeline for single-chip compatibility;
+        ``fleet`` carries the aggregated multi-chip view.
+        """
         return {
             "metrics": self.metrics.snapshot(),
             "chip": self.gate.timeline.snapshot(),
+            "fleet": self.fleet.snapshot(),
             "queues": {
                 f"{kind.value}.{n}": state.queue.qsize()
                 for (kind, n), state in self._queues.items()
@@ -458,14 +496,18 @@ class CryptoPimService:
         }
 
     def render_summary(self) -> str:
-        chip = self.gate.timeline.snapshot()
-        lines = [
-            self.metrics.breakdown(),
-            "chip timeline:",
-            f"    clock {chip['clock_cycles']} cycles, "
-            f"busy {chip['busy_cycles']} "
-            f"(utilization {chip['utilization']:.1%})",
-            f"    {chip['batches']} batches / {chip['items']} "
-            f"mult-equivalents, {chip['reconfigurations']} reconfigurations",
-        ]
+        lines = [self.metrics.breakdown()]
+        if self.fleet.num_chips > 1:
+            lines.append(self.fleet.render())
+        else:
+            chip = self.gate.timeline.snapshot()
+            lines += [
+                "chip timeline:",
+                f"    clock {chip['clock_cycles']} cycles, "
+                f"busy {chip['busy_cycles']} "
+                f"(utilization {chip['utilization']:.1%})",
+                f"    {chip['batches']} batches / {chip['items']} "
+                f"mult-equivalents, {chip['reconfigurations']} "
+                f"reconfigurations",
+            ]
         return "\n".join(lines)

@@ -17,6 +17,7 @@ from repro.serve import (
     BatchWindow,
     ChipTimeline,
     CryptoPimService,
+    LatencyHistogram,
     MetricsRegistry,
     Rejection,
     RejectReason,
@@ -110,6 +111,29 @@ class TestAdmission:
         # another tenant has its own bucket
         assert controller.admit(request_for(tenant="b"), 0) is None
 
+    def test_service_refusals_do_not_burn_tenant_quota(self):
+        """Regression: QUEUE_FULL / OVERLOAD_SHED rejections used to drain
+        the tenant's token bucket first, so a shedding service went on to
+        rate-limit innocent tenants once the backlog cleared."""
+        clock = FakeClock()
+        policy = AdmissionPolicy(queue_depth=4, shed_watermark=0.5,
+                                 tenant_rate=10, tenant_burst=2)
+        controller = AdmissionController(policy, clock=clock)
+        bucket = controller._bucket("victim")
+        level_before = bucket.available
+
+        full = controller.admit(request_for(tenant="victim"), queue_size=4)
+        assert full.reason == RejectReason.QUEUE_FULL
+        shed = controller.admit(
+            request_for(tenant="victim", priority=1), queue_size=2)
+        assert shed.reason == RejectReason.OVERLOAD_SHED
+        # neither refusal consumed a token
+        assert bucket.available == pytest.approx(level_before)
+
+        # an actually-admittable request still pays exactly one token
+        assert controller.admit(request_for(tenant="victim"), 0) is None
+        assert bucket.available == pytest.approx(level_before - 1)
+
 
 # ---------------------------------------------------------------------------
 # batching window
@@ -170,6 +194,65 @@ class TestBatchWindow:
 
         assert asyncio.run(scenario()) == ["first", "late"]
 
+    def test_cancel_racing_get_neither_loses_nor_swallows(self):
+        """Regression for the ``wait_for(queue.get(), ...)`` race.
+
+        A put and a cancellation landing in the same event-loop pass must
+        (a) propagate the cancellation - the pre-fix code returned the
+        dequeued item from ``wait_for`` and kept the window running - and
+        (b) leak no item: everything produced is either in ``out`` (the
+        caller's failover list) or still in the queue.
+        """
+        async def scenario():
+            swallowed = 0
+            lost = 0
+            for _ in range(50):
+                queue = asyncio.Queue()
+                out = []
+                queue.put_nowait("seed")
+                task = asyncio.create_task(collect_batch(
+                    queue, BatchWindow(8, max_wait_s=0.5), out=out))
+                await asyncio.sleep(0.001)  # window sits in its deadline loop
+                queue.put_nowait("racer")   # resolves the pending get...
+                task.cancel()               # ...in the same pass as this
+                try:
+                    await asyncio.wait_for(task, 0.2)
+                    swallowed += 1
+                except asyncio.CancelledError:
+                    pass
+                except asyncio.TimeoutError:
+                    swallowed += 1
+                if len(out) + queue.qsize() != 2:
+                    lost += 1
+            return swallowed, lost
+
+        swallowed, lost = asyncio.run(scenario())
+        assert swallowed == 0, "cancellation must never be swallowed"
+        assert lost == 0, "no dequeued item may be dropped"
+
+    def test_deadline_hammer_conserves_items(self):
+        """Stragglers landing right at the deadline are either batched,
+        left in the queue, or recovered on exit - never dropped."""
+        async def scenario():
+            rng = np.random.default_rng(0xBA7C4)
+            lost = 0
+            for trial in range(60):
+                queue = asyncio.Queue()
+                queue.put_nowait(("seed", trial))
+                wait = 0.002
+                offset = wait + float(rng.uniform(-5e-4, 3e-4))
+                loop = asyncio.get_running_loop()
+                loop.call_later(max(0.0, offset),
+                                queue.put_nowait, ("late", trial))
+                batch = await collect_batch(
+                    queue, BatchWindow(8, max_wait_s=wait))
+                await asyncio.sleep(0.004)  # let a late put actually land
+                if len(batch) + queue.qsize() != 2:
+                    lost += 1
+            return lost
+
+        assert asyncio.run(scenario()) == 0
+
 
 # ---------------------------------------------------------------------------
 # chip timeline scheduler
@@ -210,6 +293,28 @@ class TestChipTimeline:
         with pytest.raises(ValueError):
             ChipTimeline().dispatch(256, 0)
 
+    def test_cycle_accounting_invariant(self):
+        """Regression: reconfiguration cycles used to vanish from the
+        accounting (excluded from busy, included in the clock), silently
+        understating what degree-mixed traffic costs.  Every clock tick
+        must now be exactly one of busy / reconfig / idle."""
+        timeline = ChipTimeline()
+        for n, count in ((256, 4), (1024, 4), (256, 2), (2048, 8), (256, 1)):
+            timeline.dispatch(n, count)
+        timeline.advance_idle(5000)
+        snap = timeline.snapshot()
+        assert snap["reconfig_cycles"] == 4 * RECONFIGURATION_CYCLES
+        assert snap["idle_cycles"] == 5000
+        assert (snap["busy_cycles"] + snap["reconfig_cycles"]
+                + snap["idle_cycles"]) == snap["clock_cycles"]
+        # utilization is documented compute/total: busy over the full clock
+        assert snap["utilization"] == pytest.approx(
+            snap["busy_cycles"] / snap["clock_cycles"])
+
+    def test_advance_idle_validates(self):
+        with pytest.raises(ValueError):
+            ChipTimeline().advance_idle(-1)
+
 
 # ---------------------------------------------------------------------------
 # metrics
@@ -244,6 +349,39 @@ class TestMetrics:
         text = registry.breakdown()
         assert "requests_completed" in text
         assert "latency.e2e" in text
+
+    def test_gauge_high_water_tracks_all_negative_values(self):
+        """Regression: high_water started at 0.0, so a gauge that only
+        ever saw negative levels reported a spurious high-water of 0."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("clock_drift")
+        gauge.set(-5.0)
+        assert gauge.high_water == -5.0
+        gauge.set(-2.0)
+        assert gauge.high_water == -2.0
+        gauge.set(-9.0)
+        assert gauge.high_water == -2.0
+        gauge.set(3.0)
+        assert gauge.high_water == 3.0
+
+    def test_histogram_reservoir_downsamples_unbiased(self):
+        """Covers the reservoir branch (> 65536 samples): memory stays
+        bounded while count/sum/max stay exact and quantiles stay sane."""
+        from repro.serve.metrics import _RESERVOIR
+
+        hist = LatencyHistogram("flood", unit="x")
+        total = _RESERVOIR + 20_000
+        for i in range(total):
+            hist.record(float(i))
+        assert hist.count == total
+        assert len(hist._samples) == _RESERVOIR          # capped
+        assert hist._max == float(total - 1)             # exact max kept
+        assert hist.mean == pytest.approx((total - 1) / 2.0)
+        # the uniform reservoir keeps the median near the true median
+        assert hist.percentile(50) == pytest.approx(total / 2, rel=0.05)
+        summary = hist.summary()
+        assert summary["count"] == total
+        assert summary["p99"] <= summary["max"]
 
 
 # ---------------------------------------------------------------------------
