@@ -1,0 +1,84 @@
+"""Baseline file: accepted debt that must not block CI, while new findings do.
+
+The baseline is a committed JSON file mapping finding fingerprints (see
+:class:`~repro.analyze.findings.Finding`) to a human-readable record.
+``apply`` splits a run's findings into *new* (not baselined - these gate)
+and *known* (baselined - reported only on request), and also reports
+*stale* entries whose code has been fixed, so ``--strict`` can force the
+baseline to shrink monotonically instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineDiff"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    new: List[Finding] = field(default_factory=list)
+    known: List[Finding] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)  # fingerprints
+
+
+@dataclass
+class Baseline:
+    """Committed set of accepted finding fingerprints."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}")
+        return cls(entries=dict(data.get("findings", {})))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "comment": ("Accepted repro-analyze findings. Regenerate with "
+                        "`python -m repro analyze <paths> --update-baseline`; "
+                        "entries are keyed by line-number-independent "
+                        "fingerprints."),
+            "findings": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(entries={
+            f.fingerprint: {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        })
+
+    def apply(self, findings: Sequence[Finding]) -> BaselineDiff:
+        diff = BaselineDiff()
+        seen = set()
+        for f in findings:
+            fp = f.fingerprint
+            if fp in self.entries:
+                diff.known.append(f)
+                seen.add(fp)
+            else:
+                diff.new.append(f)
+        diff.stale = sorted(set(self.entries) - seen)
+        return diff

@@ -1,0 +1,269 @@
+"""Shared per-module analysis context: parent links, source lines, and a
+small numpy dtype-inference lattice.
+
+The dtype inference is deliberately conservative: it only reports a width
+when the code states one explicitly (``np.uint32(...)``, ``astype(np.uint32)``,
+``np.asarray(..., dtype=np.uint64)``, an ``np.arange``/``np.zeros`` with a
+``dtype=`` keyword) or when a name/attribute can be traced to such a
+statement within the enclosing function or class.  Everything else is
+``UNKNOWN`` and never flagged - a width rule that guessed would drown the
+signal the baseline is meant to protect.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["DType", "ModuleContext", "iter_functions", "qualified_name"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A numpy integer dtype as the width lattice sees it."""
+
+    name: str      # "uint32", "int64", "object", ...
+    bits: int      # 0 for object/unknown-width
+    signed: bool
+
+    @property
+    def fixed_width(self) -> bool:
+        return self.bits > 0
+
+
+_DTYPES: Dict[str, DType] = {
+    name: DType(name=name, bits=bits, signed=signed)
+    for name, bits, signed in (
+        ("uint8", 8, False), ("uint16", 16, False),
+        ("uint32", 32, False), ("uint64", 64, False),
+        ("int8", 8, True), ("int16", 16, True),
+        ("int32", 32, True), ("int64", 64, True),
+        ("intp", 64, True), ("uintp", 64, False),
+    )
+}
+OBJECT_DTYPE = DType(name="object", bits=0, signed=True)
+
+
+def dtype_from_name(name: str) -> Optional[DType]:
+    if name == "object":
+        return OBJECT_DTYPE
+    return _DTYPES.get(name)
+
+
+def _dtype_node_name(node: ast.AST) -> Optional[str]:
+    """``np.uint32`` / ``numpy.uint32`` / bare ``uint32`` / ``"uint32"`` / ``object``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def dtype_of_dtype_arg(node: ast.AST) -> Optional[DType]:
+    name = _dtype_node_name(node)
+    return dtype_from_name(name) if name else None
+
+
+#: numpy constructors whose ``dtype=`` keyword fixes the result dtype
+_CONSTRUCTORS = {
+    "asarray", "array", "arange", "zeros", "ones", "empty", "full",
+    "zeros_like", "ones_like", "empty_like", "full_like", "frombuffer",
+    "fromiter", "stack", "concatenate",
+}
+
+
+class ModuleContext:
+    """One parsed module plus the maps every rule needs."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        # class name -> {attr name -> DType} from ``self.x = <typed expr>``
+        self._class_attr_dtypes: Dict[str, Dict[str, DType]] = {}
+        self._collect_class_attr_dtypes()
+
+    # -- tree helpers -------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    # -- dtype inference ----------------------------------------------------
+
+    def _collect_class_attr_dtypes(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs: Dict[str, Optional[DType]] = {}
+            for method in node.body:
+                if not isinstance(method,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                env = self.function_env(method)
+                for sub in ast.walk(method):
+                    if (not isinstance(sub, ast.Assign)
+                            or len(sub.targets) != 1):
+                        continue
+                    target = sub.targets[0]
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        dt = self._expr_dtype(sub.value, env=env, depth=0)
+                        if dt is not None:
+                            # conflicting assignments degrade to unknown
+                            if (target.attr in attrs
+                                    and attrs[target.attr] != dt):
+                                attrs[target.attr] = None
+                            elif target.attr not in attrs:
+                                attrs[target.attr] = dt
+            self._class_attr_dtypes[node.name] = {
+                k: v for k, v in attrs.items() if v is not None
+            }
+
+    def function_env(self, func: ast.AST) -> Dict[str, DType]:
+        """var name -> DType for explicit casts assigned within ``func``."""
+        env: Dict[str, DType] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    dt = self._expr_dtype(node.value, env=env, depth=0)
+                    if dt is not None:
+                        if target.id in env and env[target.id] != dt:
+                            env.pop(target.id, None)
+                        else:
+                            env[target.id] = dt
+                    else:
+                        env.pop(target.id, None)
+        return env
+
+    def expr_dtype(self, node: ast.AST,
+                   env: Optional[Dict[str, DType]] = None,
+                   owner_class: Optional[str] = None) -> Optional[DType]:
+        """Best-effort dtype of an expression; ``None`` means unknown."""
+        return self._expr_dtype(node, env=env, depth=0,
+                                owner_class=owner_class)
+
+    def _expr_dtype(self, node: ast.AST,
+                    env: Optional[Dict[str, DType]],
+                    depth: int,
+                    owner_class: Optional[str] = None) -> Optional[DType]:
+        if depth > 24:
+            return None
+        recurse = lambda n: self._expr_dtype(  # noqa: E731
+            n, env=env, depth=depth + 1, owner_class=owner_class)
+
+        if isinstance(node, ast.Call):
+            fn = node.func
+            # np.uint32(x) scalar casts / bare dtype calls
+            name = _dtype_node_name(fn) if isinstance(
+                fn, (ast.Attribute, ast.Name)) else None
+            if name:
+                dt = dtype_from_name(name)
+                if dt is not None:
+                    return dt
+            # x.astype(np.uint32)
+            if isinstance(fn, ast.Attribute) and fn.attr == "astype" and node.args:
+                return dtype_of_dtype_arg(node.args[0])
+            # np.asarray(x, dtype=np.uint32) and friends
+            if isinstance(fn, ast.Attribute) and fn.attr in _CONSTRUCTORS:
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        return dtype_of_dtype_arg(kw.value)
+                return None
+            return None
+        if isinstance(node, ast.Name):
+            if env is not None and node.id in env:
+                return env[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            # self.<attr> resolved through the class-level scan
+            if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                    and owner_class is not None):
+                return self._class_attr_dtypes.get(owner_class, {}).get(node.attr)
+            return None
+        if isinstance(node, ast.Subscript):
+            return recurse(node.value)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Mod,
+                                    ast.FloorDiv, ast.LShift, ast.RShift,
+                                    ast.BitAnd, ast.BitOr, ast.BitXor)):
+                left = recurse(node.left)
+                right = recurse(node.right)
+                return promote(left, right)
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return recurse(node.operand)
+        return None
+
+
+def promote(a: Optional[DType], b: Optional[DType]) -> Optional[DType]:
+    """numpy-style promotion restricted to what the rules rely on.
+
+    A known dtype combined with an *unknown* operand keeps the known dtype:
+    numpy's value-based/weak promotion makes a python-int or same-kind
+    operand inherit the array operand's dtype, and that is the only case
+    the kernels here use.  Mixed signedness degrades to unknown (numpy may
+    answer float64) rather than guessing.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if a.name == "object" or b.name == "object":
+        return OBJECT_DTYPE
+    if a.signed == b.signed:
+        return a if a.bits >= b.bits else b
+    return None
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def qualified_name(node: ast.AST) -> str:
+    """Dotted rendering of a Name/Attribute chain ('' if not a chain)."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""

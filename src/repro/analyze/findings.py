@@ -1,0 +1,103 @@
+"""Finding and rule metadata types for the ``repro.analyze`` framework.
+
+A :class:`Finding` is one (rule, file, line) diagnostic.  Its
+``fingerprint`` intentionally ignores the line *number* and hashes the
+line *text* instead (plus an occurrence index for identical lines), so a
+baseline entry survives unrelated edits that shift code up or down - the
+same property commercial baseline-driven linters rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["Severity", "Finding", "RuleMeta"]
+
+
+class Severity(Enum):
+    """How a finding gates CI.
+
+    ``ERROR`` findings encode invariants whose violation produces wrong
+    results or lost requests; ``WARNING`` findings encode discipline whose
+    violation has historically preceded such bugs; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Static description of one rule (also drives ``docs/LINTS.md``)."""
+
+    id: str
+    family: str          # "modmath" | "asyncio" | "accounting"
+    severity: Severity
+    summary: str         # one line, shown in findings
+    rationale: str       # which past bug / paper constraint it encodes
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    severity: Severity
+    path: str            # repo-relative posix path
+    line: int            # 1-based
+    col: int             # 0-based
+    message: str
+    snippet: str = ""    # stripped source line, for fingerprinting/reports
+    occurrence: int = 0  # index among findings with identical (rule, path, snippet)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: line-number independent."""
+        payload = "\x1f".join(
+            (self.rule, self.path, self.snippet, str(self.occurrence)))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.severity.value} {self.rule}: {self.message}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def finalize_occurrences(findings: list) -> list:
+    """Assign occurrence indices among identical (rule, path, snippet) keys.
+
+    Rules emit findings with ``occurrence=0``; the engine calls this once
+    per run so two hits on textually identical lines keep distinct
+    fingerprints (and a baseline of one does not hide the other).
+    """
+    seen: Dict[tuple, int] = {}
+    out = []
+    for f in findings:
+        key = (f.rule, f.path, f.snippet)
+        idx = seen.get(key, 0)
+        seen[key] = idx + 1
+        if idx != f.occurrence:
+            f = Finding(rule=f.rule, severity=f.severity, path=f.path,
+                        line=f.line, col=f.col, message=f.message,
+                        snippet=f.snippet, occurrence=idx)
+        out.append(f)
+    return out

@@ -1,0 +1,78 @@
+"""Rule base class and the process-wide rule registry.
+
+A rule is a small object with :class:`~repro.analyze.findings.RuleMeta`
+and a ``check(ctx, config)`` generator yielding findings.  Registration is
+a decorator so a rule module is fully self-describing; the engine simply
+imports the rule modules and asks the registry for everything (or for an
+explicit id subset).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from .config import AnalyzeConfig
+from .context import ModuleContext
+from .findings import Finding, RuleMeta
+
+__all__ = ["Rule", "register", "all_rules", "rules_by_id"]
+
+
+class Rule:
+    """Base class: subclasses set ``meta`` and implement ``check``."""
+
+    meta: RuleMeta
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.meta.id,
+            severity=self.meta.severity,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line_text(line).strip(),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if rule.meta.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.meta.id}")
+    _REGISTRY[rule.meta.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    _ensure_loaded()
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def rules_by_id(ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    if ids is None:
+        return all_rules()
+    _ensure_loaded()
+    missing = [rid for rid in ids if rid not in _REGISTRY]
+    if missing:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule id(s) {missing}; known: {known}")
+    return [_REGISTRY[rid] for rid in ids]
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules (idempotent; they self-register on import)."""
+    from . import rules_accounting  # noqa: F401
+    from . import rules_asyncio    # noqa: F401
+    from . import rules_modmath    # noqa: F401

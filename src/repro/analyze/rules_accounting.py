@@ -1,0 +1,257 @@
+"""Cycle-accounting rules.
+
+The simulator's cost model is only as trustworthy as its counters.  The
+serving layer's invariant is ``busy + reconfig + idle == clock`` (each
+tick classified exactly once); the PIM layer's :class:`CycleCounter` and
+:class:`ProgramCost` follow the same discipline of mutating counters only
+through charge methods.  These rules catch the two historical ways the
+books were cooked: ad-hoc ``+=`` on someone else's counters, and degree
+reconfiguration folded into busy/idle instead of its own counter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .config import AnalyzeConfig
+from .context import ModuleContext
+from .findings import Finding, RuleMeta, Severity
+from .registry import Rule, register
+
+__all__ = [
+    "CounterMutationOutsideCharge",
+    "ReconfigFoldedIntoBusyIdle",
+    "TokensDrainedBeforeGates",
+]
+
+
+def _method_allowed(name: Optional[str], config: AnalyzeConfig) -> bool:
+    if name is None:
+        return False
+    return any(name.startswith(prefix)
+               for prefix in config.charge_method_prefixes)
+
+
+def _mutation_targets(node: ast.AST) -> List[ast.AST]:
+    if isinstance(node, ast.Assign):
+        out: List[ast.AST] = []
+        for t in node.targets:
+            if isinstance(t, (ast.Tuple, ast.List)):
+                out.extend(t.elts)
+            else:
+                out.append(t)
+        return out
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def _attr_target(target: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    """``(base, attr)`` when the mutation target is ``<base>.<attr>``."""
+    if isinstance(target, ast.Attribute):
+        return target.value, target.attr
+    return None
+
+
+def _is_self(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _declared_counters(cls: ast.ClassDef,
+                       config: AnalyzeConfig) -> Set[str]:
+    declared: Set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                          ast.Name):
+            if stmt.target.id in config.counter_attrs:
+                declared.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and t.id in config.counter_attrs:
+                    declared.add(t.id)
+    for stmt in cls.body:
+        if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name in ("__init__", "__post_init__")):
+            for sub in ast.walk(stmt):
+                for target in _mutation_targets(sub):
+                    pair = _attr_target(target)
+                    if (pair and _is_self(pair[0])
+                            and pair[1] in config.counter_attrs):
+                        declared.add(pair[1])
+    return declared
+
+
+@register
+class CounterMutationOutsideCharge(Rule):
+    """ACC001: cycle counters mutated outside charge methods."""
+
+    meta = RuleMeta(
+        id="ACC001",
+        family="accounting",
+        severity=Severity.WARNING,
+        summary="cycle counter mutated outside a charge method",
+        rationale=(
+            "Counters satisfying busy + reconfig + idle == clock (and the "
+            "CycleCounter/ProgramCost ledgers) stay consistent only when "
+            "every mutation goes through a charge method that updates the "
+            "whole ledger together; an ad-hoc += elsewhere is how the "
+            "shift-add cost model double-booked cycles."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        # (a) a counter-declaring class mutating its own counters outside
+        #     charge-prefixed methods
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            declared = _declared_counters(cls, config)
+            if not declared:
+                continue
+            for method in cls.body:
+                if not isinstance(method,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _method_allowed(method.name, config):
+                    continue
+                for sub in ast.walk(method):
+                    for target in _mutation_targets(sub):
+                        pair = _attr_target(target)
+                        if (pair and _is_self(pair[0])
+                                and pair[1] in declared):
+                            yield self.finding(
+                                ctx, sub,
+                                f"'{cls.name}.{method.name}' mutates "
+                                f"counter '{pair[1]}' but is not a charge "
+                                f"method; move the mutation into a "
+                                f"charge_*/advance_* method that keeps "
+                                f"the ledger consistent")
+        # (b) mutating *another object's* counters from anywhere
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _method_allowed(func.name, config):
+                continue
+            for sub in _walk_no_nested(func):
+                for target in _mutation_targets(sub):
+                    pair = _attr_target(target)
+                    if (pair is not None and not _is_self(pair[0])
+                            and pair[1] in config.counter_attrs):
+                        yield self.finding(
+                            ctx, sub,
+                            f"external mutation of counter '{pair[1]}': "
+                            f"only the owning object's charge methods may "
+                            f"write it (add a charge_* method and call "
+                            f"that instead)")
+
+
+def _walk_no_nested(func: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ReconfigFoldedIntoBusyIdle(Rule):
+    """ACC002: reconfiguration cost folded into busy/idle cycles."""
+
+    meta = RuleMeta(
+        id="ACC002",
+        family="accounting",
+        severity=Severity.ERROR,
+        summary="reconfiguration cycles folded into busy/idle accounting",
+        rationale=(
+            "A method that charges reconfiguration latency while advancing "
+            "clock_cycles/busy_cycles must also book reconfig_cycles, or "
+            "the switch-rewiring penalty disappears into busy or idle time "
+            "and utilisation reports lie (the ChipTimeline bug: "
+            "reconfigurations were counted but their cycles were folded "
+            "into the batch span)."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for method in cls.body:
+                if not isinstance(method,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                refs_reconfig = False
+                mutates_clock_or_busy = False
+                mutates_reconfig_counter = False
+                for sub in ast.walk(method):
+                    if (isinstance(sub, ast.Name)
+                            and "reconfig" in sub.id.lower()):
+                        refs_reconfig = True
+                    if (isinstance(sub, ast.Attribute)
+                            and "reconfig" in sub.attr.lower()):
+                        refs_reconfig = True
+                    for target in _mutation_targets(sub):
+                        pair = _attr_target(target)
+                        if pair is None or not _is_self(pair[0]):
+                            continue
+                        if pair[1] in ("clock_cycles", "busy_cycles"):
+                            mutates_clock_or_busy = True
+                        if "reconfig_cycles" in pair[1]:
+                            mutates_reconfig_counter = True
+                if (refs_reconfig and mutates_clock_or_busy
+                        and not mutates_reconfig_counter):
+                    yield self.finding(
+                        ctx, method,
+                        f"'{cls.name}.{method.name}' charges "
+                        f"reconfiguration latency into the clock without "
+                        f"booking reconfig_cycles; busy + reconfig + idle "
+                        f"== clock breaks and utilisation over-reports")
+
+
+@register
+class TokensDrainedBeforeGates(Rule):
+    """ACC003: tenant tokens drained before backpressure rejections."""
+
+    meta = RuleMeta(
+        id="ACC003",
+        family="accounting",
+        severity=Severity.ERROR,
+        summary="token bucket drained before backpressure gates",
+        rationale=(
+            "Draining a tenant's token bucket and then refusing the "
+            "request for the service's own reasons (QUEUE_FULL, "
+            "OVERLOAD_SHED) charges quota for work never accepted; once "
+            "the backlog clears the innocent tenant is rate-limited (the "
+            "PR-3 admission bug). try_take must be the last gate."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            takes: List[ast.Call] = []
+            gate_lines: List[int] = []
+            for sub in _walk_no_nested(func):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "try_take"):
+                    takes.append(sub)
+                if (isinstance(sub, (ast.Attribute, ast.Name))
+                        and getattr(sub, "attr", getattr(sub, "id", ""))
+                        in ("QUEUE_FULL", "OVERLOAD_SHED")):
+                    gate_lines.append(sub.lineno)
+            for take in takes:
+                later = [ln for ln in gate_lines if ln > take.lineno]
+                if later:
+                    yield self.finding(
+                        ctx, take,
+                        f"try_take() at line {take.lineno} runs before a "
+                        f"backpressure gate at line {later[0]}: a shed or "
+                        f"queue-full refusal would still burn the "
+                        f"tenant's tokens - reorder so the bucket is the "
+                        f"last gate")

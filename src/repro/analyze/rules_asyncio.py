@@ -1,0 +1,270 @@
+"""Coroutine-discipline rules for the serving layer.
+
+These encode the exact failure modes PR 3 fixed by hand in
+``repro.serve``: a ``wait_for(queue.get(), ...)`` that loses the dequeued
+item when the timeout cancels the getter, a cancellation handler that
+fails over the *dequeue* but leaves a later await uncovered (abandoning
+already-collected request futures), fire-and-forget tasks the event loop
+may garbage-collect mid-flight, and coroutines mutating scheduler-owned
+shared state from outside the owning module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from .config import AnalyzeConfig
+from .context import ModuleContext, qualified_name
+from .findings import Finding, RuleMeta, Severity
+from .registry import Rule, register
+
+__all__ = [
+    "AsyncWaitForFreshGet",
+    "AsyncFireAndForgetTask",
+    "AsyncPartialCancellationFailover",
+    "AsyncForeignStateMutation",
+]
+
+
+def _call_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _is_fresh_queue_get(node: ast.AST, config: AnalyzeConfig) -> bool:
+    """A *fresh* ``<queue>.get()`` coroutine call (not a retained task)."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in config.queue_get_methods)
+
+
+def _is_cancelled_handler(handler: ast.ExceptHandler) -> bool:
+    def matches(expr: Optional[ast.AST]) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Tuple):
+            return any(matches(e) for e in expr.elts)
+        name = qualified_name(expr)
+        return name.endswith("CancelledError")
+    return matches(handler.type)
+
+
+def _walk_no_nested(func: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncWaitForFreshGet(Rule):
+    """ASY001: ``wait_for``/``shield`` around a fresh queue ``get()``."""
+
+    meta = RuleMeta(
+        id="ASY001",
+        family="asyncio",
+        severity=Severity.ERROR,
+        summary="wait_for/shield wraps a fresh queue get(): item lost on timeout",
+        rationale=(
+            "asyncio.wait_for cancels the inner awaitable on timeout; if "
+            "that awaitable is a fresh queue.get() the item it may have "
+            "just dequeued is dropped on the floor (the PR-3 batcher race "
+            "that lost requests under deadline pressure). Retain the "
+            "getter as a task, shield it, and re-check it after the "
+            "timeout instead."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _call_attr(node)
+            if attr == "wait_for" and node.args:
+                inner = node.args[0]
+                if _is_fresh_queue_get(inner, config):
+                    yield self.finding(
+                        ctx, node,
+                        "wait_for(queue.get(), ...) drops the dequeued item "
+                        "when the timeout cancels the getter; create the "
+                        "getter task once, wrap it in asyncio.shield, and "
+                        "consume its result even after TimeoutError")
+                elif (_call_attr(inner) == "shield"
+                      and isinstance(inner, ast.Call) and inner.args
+                      and _is_fresh_queue_get(inner.args[0], config)):
+                    yield self.finding(
+                        ctx, node,
+                        "shield(queue.get()) inside wait_for still abandons "
+                        "the dequeued item: shield keeps the getter running "
+                        "but nothing retains a reference to collect its "
+                        "result; retain the task and re-await it")
+            elif attr == "shield" and node.args:
+                parent = ctx.parent(node)
+                inside_wait_for = (isinstance(parent, ast.Call)
+                                   and _call_attr(parent) == "wait_for")
+                if (not inside_wait_for
+                        and _is_fresh_queue_get(node.args[0], config)):
+                    yield self.finding(
+                        ctx, node,
+                        "shield over a fresh queue.get() loses the item if "
+                        "the outer await is cancelled; retain the getter "
+                        "task so the result can be recovered")
+
+
+@register
+class AsyncFireAndForgetTask(Rule):
+    """ASY002: ``create_task`` result discarded."""
+
+    meta = RuleMeta(
+        id="ASY002",
+        family="asyncio",
+        severity=Severity.WARNING,
+        summary="fire-and-forget create_task: task may be garbage-collected",
+        rationale=(
+            "The event loop keeps only a weak reference to tasks; a "
+            "create_task whose return value is discarded can be collected "
+            "mid-flight and its exceptions are never observed. Store the "
+            "task (and discard it in a done callback) or await it."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_attr(node) not in ("create_task", "ensure_future"):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.Expr):
+                yield self.finding(
+                    ctx, node,
+                    "task handle discarded: the loop holds only a weak "
+                    "reference, so the task can be garbage-collected "
+                    "mid-flight and its exception silently lost; keep the "
+                    "handle on the owning object")
+
+
+@register
+class AsyncPartialCancellationFailover(Rule):
+    """ASY003: cancellation failover covers the dequeue but not later awaits."""
+
+    meta = RuleMeta(
+        id="ASY003",
+        family="asyncio",
+        severity=Severity.ERROR,
+        summary="cancellation failover leaves a later await uncovered",
+        rationale=(
+            "A drain loop that resolves dequeued futures in its "
+            "CancelledError handler has accepted responsibility for every "
+            "item it holds; an await after that try block (lease, "
+            "dispatch) cancelled mid-flight abandons the same items the "
+            "handler exists to protect. Every await between dequeue and "
+            "future resolution needs the failover."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            failover_tries = [
+                t for t in _walk_no_nested(func)
+                if isinstance(t, ast.Try) and _has_failover_handler(t)
+            ]
+            if not failover_tries:
+                continue
+            first_line = min(t.lineno for t in failover_tries)
+            for node in _walk_no_nested(func):
+                if not isinstance(node, (ast.Await, ast.AsyncWith,
+                                         ast.AsyncFor)):
+                    continue
+                if node.lineno <= first_line:
+                    continue
+                if any(_within(ctx, node, t) for t in failover_tries):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "await point outside the CancelledError failover: a "
+                    "cancellation landing here abandons the futures the "
+                    "failover handler resolves; extend the try/except (and "
+                    "re-raise after failing the collected items over)")
+
+
+def _has_failover_handler(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        if not _is_cancelled_handler(handler):
+            continue
+        for sub in ast.walk(handler):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and (sub.func.attr in ("set_result", "set_exception")
+                         or "fail" in sub.func.attr)):
+                # direct future resolution, or a _fail_batch-style helper
+                return True
+    return False
+
+
+def _within(ctx: ModuleContext, node: ast.AST, container: ast.AST) -> bool:
+    if node is container:
+        return True
+    return any(anc is container for anc in ctx.ancestors(node))
+
+
+@register
+class AsyncForeignStateMutation(Rule):
+    """ASY004: coroutine mutates scheduler-owned state from another module."""
+
+    meta = RuleMeta(
+        id="ASY004",
+        family="asyncio",
+        severity=Severity.WARNING,
+        summary="coroutine mutates shared state owned by another module",
+        rationale=(
+            "Fleet/scheduler bookkeeping (pending_leases, healthy, "
+            "configured_n) has a single owning module whose methods keep "
+            "it consistent under interleaving; a coroutine elsewhere "
+            "writing it races the owner between awaits. Route the change "
+            "through the owner's API."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        foreign = {attr: owner for attr, owner in config.owned_attrs.items()
+                   if not ctx.path.endswith(owner)}
+        if not foreign:
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _walk_no_nested(func):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    for t in _flatten_targets(target):
+                        if (isinstance(t, ast.Attribute)
+                                and t.attr in foreign):
+                            yield self.finding(
+                                ctx, node,
+                                f"'{t.attr}' is owned by "
+                                f"{foreign[t.attr]}; mutating it from a "
+                                f"coroutine here races the owner's "
+                                f"bookkeeping between awaits - call the "
+                                f"owning API instead")
+
+
+def _flatten_targets(target: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield target

@@ -1,0 +1,224 @@
+"""Datapath-width rules for the numpy modular-arithmetic kernels.
+
+The paper's correctness story (Algorithm 3, and BP-NTT / ModSRAM for
+in-SRAM multipliers) rests on one discipline: every intermediate of a
+modular operation must fit the datapath width *before* the reduction sees
+it.  In numpy that discipline is invisible - ``uint32 * uint32`` wraps
+silently and the following ``% q`` happily reduces garbage.  These rules
+recover the width argument statically from the explicit casts the kernels
+already write down.
+
+Width budget: with moduli capped at ``max_modulus_bits`` (= B) a residue
+product needs ``2B`` bits and the Gentleman-Sande biased difference
+``(t + q - bot) * w`` needs ``2B + 1``; any unsigned product narrower than
+that feeding a ``%`` is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterator, Optional, Set
+
+from .config import AnalyzeConfig
+from .context import ModuleContext, dtype_of_dtype_arg
+from .findings import Finding, RuleMeta, Severity
+from .registry import Rule, register
+
+__all__ = ["ModWidthProducts", "ModSignedKernels", "ModNarrowingAstype"]
+
+
+def _in_hot_kernel(ctx: ModuleContext, config: AnalyzeConfig) -> bool:
+    parts = PurePosixPath(ctx.path).parts
+    return any(d in parts for d in config.hot_kernel_dirs)
+
+
+def _mod_ancestor(ctx: ModuleContext, node: ast.AST) -> Optional[ast.BinOp]:
+    """Nearest enclosing ``X % Y`` with ``node`` inside ``X`` (the reduced
+    operand), crossing only expression nodes."""
+    child = node
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.BinOp) and isinstance(anc.op, ast.Mod):
+            if anc.left is child or _contains(anc.left, node):
+                return anc
+        if not isinstance(anc, (ast.BinOp, ast.UnaryOp, ast.Call,
+                                ast.Subscript, ast.Attribute, ast.Tuple,
+                                ast.Starred, ast.keyword)):
+            return None
+        child = anc
+    return None
+
+
+def _contains(tree: ast.AST, node: ast.AST) -> bool:
+    return any(sub is node for sub in ast.walk(tree))
+
+
+def _function_scopes(ctx: ModuleContext) -> Iterator[tuple]:
+    """Yield ``(func, env, owner_class)`` for every function in the module."""
+    for fn_node in ast.walk(ctx.tree):
+        if isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            owner = ctx.enclosing_class(fn_node)
+            yield (fn_node, ctx.function_env(fn_node),
+                   owner.name if owner else None)
+
+
+def _direct_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested function definitions."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ModWidthProducts(Rule):
+    """MOD001: unsigned product can wrap its dtype before the ``% q``."""
+
+    meta = RuleMeta(
+        id="MOD001",
+        family="modmath",
+        severity=Severity.ERROR,
+        summary="integer product can wrap its dtype before the enclosing %",
+        rationale=(
+            "Algorithm 3's shift-add reductions are only exact when the "
+            "product fits the wordline width; a uint32 product of residues "
+            "wraps for q > 2^16 and the following % q reduces garbage "
+            "without any error. Encodes the repo-wide modulus cap "
+            "KERNEL_MAX_Q_BITS (31 bits -> products need up to 63 bits)."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        need_bits = 2 * config.max_modulus_bits + 1
+        for func, env, owner in _function_scopes(ctx):
+            for node in _direct_nodes(func):
+                if not (isinstance(node, ast.BinOp)
+                        and isinstance(node.op, ast.Mult)):
+                    continue
+                dtype = ctx.expr_dtype(node, env=env, owner_class=owner)
+                if dtype is None or not dtype.fixed_width or dtype.signed:
+                    continue
+                if dtype.bits >= need_bits:
+                    continue
+                if _mod_ancestor(ctx, node) is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"{dtype.name} product reduced by % afterwards: "
+                    f"moduli up to {config.max_modulus_bits} bits need "
+                    f"{need_bits}-bit intermediates, {dtype.name} wraps at "
+                    f"{dtype.bits}; widen the operands or prove the bound "
+                    f"and annotate `# repro: allow(MOD001)`")
+
+
+@register
+class ModSignedKernels(Rule):
+    """MOD002: signed-array modular arithmetic in a hot kernel."""
+
+    meta = RuleMeta(
+        id="MOD002",
+        family="modmath",
+        severity=Severity.WARNING,
+        summary="signed integer product under % in a hot kernel",
+        rationale=(
+            "int64 products overflow to negative for operands past 2^31.5 "
+            "and numpy's % then returns a plausible-looking wrong residue; "
+            "the kernels' width contract is stated in explicit unsigned "
+            "dtypes, so a signed array reaching a % marks a missing cast "
+            "(rng.integers returns int64 by default)."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        if not _in_hot_kernel(ctx, config):
+            return
+        for func, env, owner in _function_scopes(ctx):
+            for node in _direct_nodes(func):
+                if not (isinstance(node, ast.BinOp)
+                        and isinstance(node.op, ast.Mult)):
+                    continue
+                dtype = ctx.expr_dtype(node, env=env, owner_class=owner)
+                if dtype is None or not dtype.fixed_width or not dtype.signed:
+                    continue
+                if _mod_ancestor(ctx, node) is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"{dtype.name} (signed) product feeds a % in a hot "
+                    f"kernel: overflow wraps negative and the residue is "
+                    f"silently wrong - cast to an unsigned dtype wide "
+                    f"enough for the product first")
+
+
+_NARROW_BITS = 64  # targets below this are "narrowing" for kernel data
+
+
+@register
+class ModNarrowingAstype(Rule):
+    """MOD003: ``astype`` narrowing without a dominating reduction."""
+
+    meta = RuleMeta(
+        id="MOD003",
+        family="modmath",
+        severity=Severity.WARNING,
+        summary="astype narrows kernel data without a dominating % reduction",
+        rationale=(
+            "Narrowing to uint32/uint16 is only sound straight after a "
+            "% q (values < q fit by the parameter tables); narrowing "
+            "unreduced data truncates high bits silently. The paper's "
+            "16/32-bit datapaths always narrow post-reduction."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        if not _in_hot_kernel(ctx, config):
+            return
+        for func, env, owner in _function_scopes(ctx):
+            reduced_names = _names_assigned_from_mod(func)
+            for node in _direct_nodes(func):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "astype"
+                        and node.args):
+                    continue
+                target = dtype_of_dtype_arg(node.args[0])
+                if (target is None or not target.fixed_width
+                        or target.bits >= _NARROW_BITS):
+                    continue
+                source = node.func.value
+                if _is_reduced(source, reduced_names):
+                    continue
+                src_dtype = ctx.expr_dtype(source, env=env, owner_class=owner)
+                if (src_dtype is not None and src_dtype.fixed_width
+                        and src_dtype.bits <= target.bits):
+                    continue  # same-width or widening: nothing truncated
+                yield self.finding(
+                    ctx, node,
+                    f"astype({target.name}) narrows a value that is not "
+                    f"visibly reduced: put the % q before the cast (or "
+                    f"annotate `# repro: allow(MOD003)` with the bound)")
+
+
+def _names_assigned_from_mod(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in _direct_nodes(func):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.BinOp)
+                and isinstance(node.value.op, ast.Mod)):
+            names.add(node.targets[0].id)
+    return names
+
+
+def _is_reduced(source: ast.AST, reduced_names: Set[str]) -> bool:
+    if isinstance(source, ast.BinOp) and isinstance(source.op, ast.Mod):
+        return True
+    if isinstance(source, ast.Name) and source.id in reduced_names:
+        return True
+    # comparisons produce booleans (e.g. (x != 0).astype(...)): never wide
+    if isinstance(source, ast.Compare):
+        return True
+    return False

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..ntt.batch import check_kernel_modulus
 from ..ntt.modmath import mod_inverse, nth_root_of_unity
 from ..ntt.params import modulus_for_degree
 from ..ntt.polynomial import MultiplierBackend
@@ -61,6 +62,8 @@ class SegmentedMultiplier:
         self.n = n
         self.native_degree = native_degree
         self.q = q if q is not None else modulus_for_degree(native_degree)
+        # the split/merge arithmetic multiplies uint64 residues directly
+        check_kernel_modulus(self.q)
         if (self.q - 1) % (2 * n) != 0:
             raise ValueError(
                 f"q = {self.q} lacks a 2n-th root of unity for n = {n}: "

@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet routing policy (default: degree-affinity "
                             "with power-of-two-choices balancing)")
 
+    from .analyze.cli import add_analyze_parser
+    add_analyze_parser(sub)
+
     return parser
 
 
@@ -145,6 +148,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return args.func(args)
     from .eval import report as eval_report
 
     renderers = {

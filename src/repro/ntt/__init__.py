@@ -12,7 +12,13 @@ Public surface:
 * :mod:`repro.ntt.polynomial` - ring element type
 """
 
-from .batch import StagePlan, gs_kernel_batch, stage_plan
+from .batch import (
+    KERNEL_MAX_Q_BITS,
+    StagePlan,
+    check_kernel_modulus,
+    gs_kernel_batch,
+    stage_plan,
+)
 from .bitrev import bitrev_indices, bitrev_permute, bitrev_permute_array, reverse_bits
 from .modmath import (
     centered,

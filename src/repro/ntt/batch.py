@@ -44,6 +44,8 @@ __all__ = [
     "shoup_table",
     "modmul_fixed",
     "kernel_dtype",
+    "check_kernel_modulus",
+    "KERNEL_MAX_Q_BITS",
     "SHOUP_MAX_Q",
     "UINT32_MAX_Q",
 ]
@@ -58,6 +60,27 @@ SHOUP_MAX_Q = 1 << 26
 #: roughly 3x faster than 64-bit on the same element count, mirroring the
 #: paper's 16-bit datapath for n <= 1024
 UINT32_MAX_Q = 1 << 16
+#: widest modulus any numpy kernel datapath accepts.  The ``%`` fallback
+#: multiplies the *biased* butterfly difference ``t + q - bot < 2q`` by a
+#: twiddle ``< q``, so intermediates need ``2*bits(q) + 1`` bits; 31-bit
+#: moduli are the largest whose products provably fit uint64.  (MOD001 in
+#: ``repro.analyze`` enforces the same budget statically.)
+KERNEL_MAX_Q_BITS = 31
+
+
+def check_kernel_modulus(q: int) -> int:
+    """Validate ``q`` against the uint64 datapath width contract."""
+    if q < 2:
+        raise ValueError(f"modulus must be >= 2, got {q}")
+    if q.bit_length() > KERNEL_MAX_Q_BITS:
+        raise ValueError(
+            f"modulus {q} needs {q.bit_length()} bits but the uint64 kernel "
+            f"datapath is exact only up to KERNEL_MAX_Q_BITS = "
+            f"{KERNEL_MAX_Q_BITS}: the butterfly computes "
+            f"twiddle * (t + q - bot) with the difference in [0, 2q), and "
+            f"beyond 31-bit moduli that product wraps 64 bits and the "
+            f"following % reduces garbage")
+    return q
 
 
 def kernel_dtype(q: int) -> np.dtype:
@@ -184,6 +207,7 @@ def gs_kernel_batch(
     cached it); larger moduli fall back to ``%``.  Both produce identical
     bits.
     """
+    check_kernel_modulus(q)
     if values.ndim != 2:
         raise ValueError(f"expected a (batch, n) array, got shape {values.shape}")
     batch, n = values.shape

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .batch import KERNEL_MAX_Q_BITS, check_kernel_modulus
 from .modmath import is_prime, mod_inverse, nth_root_of_unity
 from .params import NttParams
 from .transform import NttEngine
@@ -41,8 +42,12 @@ def find_ntt_primes(n: int, count: int, bits: int = 20) -> List[int]:
     primes: List[int] = []
     candidate = ((1 << bits) // step) * step + 1
     while len(primes) < count:
-        if candidate.bit_length() > 62:  # keep uint64 products safe
-            raise ValueError("ran out of representable primes")
+        # the kernel's uint64 datapath needs 2*bits(q)+1 bits of headroom;
+        # the old 62-bit cap let 124-bit products wrap silently
+        if candidate.bit_length() > KERNEL_MAX_Q_BITS:
+            raise ValueError(
+                f"ran out of representable primes: candidates crossed the "
+                f"{KERNEL_MAX_Q_BITS}-bit kernel datapath cap")
         if is_prime(candidate):
             primes.append(candidate)
         candidate += step
@@ -65,6 +70,7 @@ class RnsBasis:
         self.n = n
         self.primes: Tuple[int, ...] = tuple(primes)
         for q in self.primes:
+            check_kernel_modulus(q)
             if not is_prime(q):
                 raise ValueError(f"{q} is not prime")
             if (q - 1) % (2 * n) != 0:

@@ -29,6 +29,7 @@ from .batch import (
     SHOUP_MAX_Q,
     StagePlan,
     bitrev_gather_rows,
+    check_kernel_modulus,
     gs_kernel_batch,
     kernel_dtype,
     modmul_fixed,
@@ -183,6 +184,7 @@ class NttEngine:
     """
 
     def __init__(self, params: NttParams):
+        check_kernel_modulus(params.q)
         self.params = params
         self._plan: StagePlan = stage_plan(params.n)
         #: kernel datapath width: uint32 when q^2 fits (the 16-bit moduli,

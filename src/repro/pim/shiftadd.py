@@ -73,12 +73,37 @@ class Op:
 
 @dataclass
 class ProgramCost:
-    """Cycle cost breakdown of one reduction program."""
+    """Cycle cost breakdown of one reduction program.
+
+    Counters are mutated only through the ``charge_*`` methods so the
+    ledger stays internally consistent (``cycles`` always equals the sum
+    of what the charged ops cost) - the same discipline ACC001 in
+    :mod:`repro.analyze` enforces repo-wide.
+    """
 
     cycles: int = 0
     adds: int = 0
     subs: int = 0
     free_ops: int = 0
+
+    def charge_add(self, width: int) -> None:
+        """Book one add/addc executed at ``width`` bits."""
+        self.cycles += add_cycles(width)
+        self.adds += 1
+
+    def charge_sub(self, width: int) -> None:
+        """Book one sub/csubq executed at ``width`` bits."""
+        self.cycles += sub_cycles(width)
+        self.subs += 1
+
+    def charge_or(self) -> None:
+        """Book one multi-input in-memory OR (the ``nzbit`` op)."""
+        self.cycles += 1
+        self.free_ops += 1
+
+    def charge_free(self) -> None:
+        """Book one free column-selection op (shift/mask/load)."""
+        self.free_ops += 1
 
     def __str__(self) -> str:
         return (f"{self.cycles} cycles ({self.adds} adds, {self.subs} subs, "
@@ -224,16 +249,13 @@ class ShiftAddProgram:
             if op.kind in ("add", "addc", "sub", "csubq"):
                 width = max(width if width_optimised else full_width, 1)
                 if op.kind in ("add", "addc"):
-                    cost.cycles += add_cycles(width)
-                    cost.adds += 1
+                    cost.charge_add(width)
                 else:
-                    cost.cycles += sub_cycles(width)
-                    cost.subs += 1
+                    cost.charge_sub(width)
             elif op.kind == "nzbit":
-                cost.cycles += 1  # one multi-input in-memory OR
-                cost.free_ops += 1
+                cost.charge_or()
             else:
-                cost.free_ops += 1
+                cost.charge_free()
         return cost
 
     def _bounds(self) -> Dict[str, int]:

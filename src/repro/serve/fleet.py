@@ -43,7 +43,7 @@ from __future__ import annotations
 
 from contextlib import asynccontextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -191,7 +191,7 @@ class ChipFleet:
         return self._two_choices(healthy)
 
     @asynccontextmanager
-    async def lease(self, n: int):
+    async def lease(self, n: int) -> AsyncIterator[ChipShard]:
         """Hold one healthy shard's gate for a degree-``n`` window.
 
         Routing and locking race against health changes: if the chosen
@@ -257,7 +257,7 @@ class ChipFleet:
 
     # -- reporting ------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """Aggregated fleet state plus the per-shard timelines.
 
         ``makespan_cycles`` is the slowest shard's virtual clock (the

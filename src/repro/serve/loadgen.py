@@ -22,11 +22,11 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Union
 
 import numpy as np
 
-from .requests import RequestKind, ServeRequest
+from .requests import Rejection, RequestKind, ServeRequest, ServeResult
 from .service import KYBER_DEGREE, CryptoPimService
 
 __all__ = [
@@ -104,14 +104,14 @@ class PayloadPool:
                  tenants: int = 1):
         self._rng = rng
         self._tenants = max(1, tenants)
-        self._payloads: Dict[TrafficSpec, List] = {}
+        self._payloads: Dict[TrafficSpec, List[Any]] = {}
         for spec in profile.specs:
             self._payloads[spec] = [
                 self._build(service, spec) for _ in range(per_spec)
             ]
         self.profile = profile
 
-    def _build(self, service: CryptoPimService, spec: TrafficSpec):
+    def _build(self, service: CryptoPimService, spec: TrafficSpec) -> Any:
         kind, n, rng = spec.kind, spec.n, self._rng
         if kind is RequestKind.POLYMUL:
             q = service.engine(n).q
@@ -190,7 +190,7 @@ class LoadReport:
 
 
 def _summarise(profile: str, mode: str, offered: int, rate: float,
-               responses: List, wall_s: float) -> LoadReport:
+               responses: List[Any], wall_s: float) -> LoadReport:
     completed = [r for r in responses if r is not None and r.ok]
     rejected: Dict[str, int] = {}
     for r in responses:
@@ -232,7 +232,7 @@ async def run_closed_loop(service: CryptoPimService,
                        tenants=tenants)
     requests = [pool.make_request() for _ in range(total_requests)]
     cursor = iter(requests)
-    responses: List = []
+    responses: List[Union[ServeResult, Rejection]] = []
 
     async def client() -> None:
         for request in cursor:  # shared iterator: total is split on demand
@@ -264,7 +264,8 @@ async def run_open_loop(service: CryptoPimService,
     started = loop.time()
     wall_started = time.perf_counter()
 
-    async def fire(at: float, request: ServeRequest):
+    async def fire(at: float,
+                   request: ServeRequest) -> Union[ServeResult, Rejection]:
         delay = (started + at) - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)

@@ -110,7 +110,7 @@ class LatencyHistogram:
 class MetricsRegistry:
     """All of one service's instruments, addressable by name."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}

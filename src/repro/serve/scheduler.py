@@ -175,7 +175,7 @@ class ChipGate:
         await self._lock.acquire()
         return self
 
-    async def __aexit__(self, *exc) -> None:
+    async def __aexit__(self, *exc: object) -> None:
         self._lock.release()
 
     def capacity_for(self, n: int) -> int:

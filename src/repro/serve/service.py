@@ -36,7 +36,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -121,7 +121,7 @@ class _Pending:
 
     request: ServeRequest
     enqueued_at: float
-    future: "asyncio.Future"
+    future: "asyncio.Future[Union[ServeResult, Rejection]]"
 
 
 @dataclass
@@ -131,7 +131,7 @@ class _QueueState:
     key: Tuple[RequestKind, int]
     queue: "asyncio.PriorityQueue"
     window: BatchWindow
-    worker: "asyncio.Task" = field(repr=False, default=None)
+    worker: Optional["asyncio.Task"] = field(repr=False, default=None)
 
 
 class CryptoPimService:
@@ -155,9 +155,9 @@ class CryptoPimService:
         # lazily-built execution contexts, keyed by degree
         self._accelerators: Dict[int, CryptoPIM] = {}
         self._engines: Dict[int, NttEngine] = {}
-        self._kyber = None          # (KyberKem, pk, sk)
-        self._bgv: Dict[int, tuple] = {}   # (scheme, sk)
-        self._bfv: Dict[int, tuple] = {}
+        self._kyber: Optional[Tuple[KyberKem, Any, Any]] = None  # (kem, pk, sk)
+        self._bgv: Dict[int, Tuple[BgvScheme, Any]] = {}   # (scheme, sk)
+        self._bfv: Dict[int, Tuple[BfvScheme, Any]] = {}
 
     @property
     def gate(self) -> ChipGate:
@@ -178,7 +178,7 @@ class CryptoPimService:
             self._engines[n] = NttEngine.for_degree(n)
         return self._engines[n]
 
-    def kyber(self):
+    def kyber(self) -> Tuple[KyberKem, Any, Any]:
         """The service KEM context ``(kem, pk, sk)`` (paper n=256 ring)."""
         if self._kyber is None:
             kem = KyberKem(rng=np.random.default_rng(self._rng.integers(2**63)))
@@ -186,7 +186,7 @@ class CryptoPimService:
             self._kyber = (kem, pk, sk)
         return self._kyber
 
-    def bgv(self, n: int):
+    def bgv(self, n: int) -> Tuple[BgvScheme, Any]:
         """Service-held BGV context ``(scheme, sk)`` for degree ``n``."""
         if n not in self._bgv:
             scheme = BgvScheme(
@@ -194,7 +194,7 @@ class CryptoPimService:
             self._bgv[n] = (scheme, scheme.keygen())
         return self._bgv[n]
 
-    def bfv(self, n: int):
+    def bfv(self, n: int) -> Tuple[BfvScheme, Any]:
         if n not in self._bfv:
             scheme = BfvScheme(
                 n=n, rng=np.random.default_rng(self._rng.integers(2**63)))
@@ -277,33 +277,34 @@ class CryptoPimService:
         self.metrics.gauge("backlog_total").set(
             sum(s.queue.qsize() for s in self._queues.values()))
 
-    async def submit(self, request: ServeRequest):
+    async def submit(self,
+                     request: ServeRequest) -> Union[ServeResult, Rejection]:
         """Serve one request; resolves to a ServeResult or a Rejection."""
         self.metrics.counter("requests_submitted").inc()
         self.metrics.counter(f"requests.{request.kind.value}").inc()
         rejection = self._validate(request)
-        state = None
         if rejection is None:
             state = self._queue_state(request)
             rejection = self._admission.admit(request, state.queue.qsize())
-        if rejection is not None:
-            self.metrics.counter("requests_rejected").inc()
-            self.metrics.counter(f"rejected.{rejection.reason.value}").inc()
-            return rejection
-        loop = asyncio.get_running_loop()
-        pending = _Pending(request=request, enqueued_at=loop.time(),
-                           future=loop.create_future())
-        # priority first, then arrival order within a priority class
-        state.queue.put_nowait((request.priority, request.request_id, pending))
-        self._depth_gauge(state)
-        return await pending.future
+            if rejection is None:
+                loop = asyncio.get_running_loop()
+                pending = _Pending(request=request, enqueued_at=loop.time(),
+                                   future=loop.create_future())
+                # priority first, then arrival order within a priority class
+                state.queue.put_nowait(
+                    (request.priority, request.request_id, pending))
+                self._depth_gauge(state)
+                return await pending.future
+        self.metrics.counter("requests_rejected").inc()
+        self.metrics.counter(f"rejected.{rejection.reason.value}").inc()
+        return rejection
 
     # -- the drain loop -------------------------------------------------------
 
     async def _drain(self, state: _QueueState) -> None:
         kind, n = state.key
         while True:
-            entries: List = []
+            entries: List[Tuple[int, int, _Pending]] = []
             try:
                 await collect_batch(state.queue, state.window, out=entries)
             except asyncio.CancelledError:
@@ -321,25 +322,35 @@ class CryptoPimService:
             pendings = [entry[2] for entry in entries]
             close_time = asyncio.get_running_loop().time()
             try:
-                async with self.fleet.lease(n) as shard:
-                    mults = self._mult_equivalents(kind, pendings)
-                    timing = shard.gate.timeline.dispatch(
-                        n, mults * len(pendings))
-                    started = time.perf_counter()
-                    try:
-                        values = self._execute(kind, n, pendings)
-                    except Exception as error:  # malformed payload that passed
-                        self._fail_batch(pendings, kind, n, error)
-                        continue
-                    service_s = time.perf_counter() - started
-                    chip_index = shard.index
-            except FleetDrained:
-                # every chip is administratively drained: fail the window
-                # over with typed rejections rather than dropping it
+                try:
+                    async with self.fleet.lease(n) as shard:
+                        mults = self._mult_equivalents(kind, pendings)
+                        timing = shard.gate.timeline.dispatch(
+                            n, mults * len(pendings))
+                        started = time.perf_counter()
+                        try:
+                            values = self._execute(kind, n, pendings)
+                        except Exception as error:  # bad payload that passed
+                            self._fail_batch(pendings, kind, n, error)
+                            continue
+                        service_s = time.perf_counter() - started
+                        chip_index = shard.index
+                except FleetDrained:
+                    # every chip is administratively drained: fail the
+                    # window over with typed rejections, don't drop it
+                    self._fail_batch(pendings, kind, n,
+                                     reason=RejectReason.SHUTDOWN,
+                                     detail="every fleet chip is drained")
+                    continue
+            except asyncio.CancelledError:
+                # shutdown while waiting on (or holding) the chip lease:
+                # the window already left the queue, so stop() will never
+                # see it - fail the dequeued futures over like the
+                # collect_batch handler above instead of abandoning them
                 self._fail_batch(pendings, kind, n,
                                  reason=RejectReason.SHUTDOWN,
-                                 detail="every fleet chip is drained")
-                continue
+                                 detail="service stopped mid-dispatch")
+                raise
             done_time = asyncio.get_running_loop().time()
             self.metrics.counter("batches_dispatched").inc()
             self.metrics.counter(f"fleet.dispatched.chip{chip_index}").inc()
@@ -407,7 +418,7 @@ class CryptoPimService:
         return 1
 
     def _execute(self, kind: RequestKind, n: int,
-                 pendings: List[_Pending]) -> List:
+                 pendings: List[_Pending]) -> List[Any]:
         payloads = [p.request.payload for p in pendings]
         if kind is RequestKind.POLYMUL:
             return self.accelerator(n).multiply_batch(payloads).results
@@ -474,12 +485,12 @@ class CryptoPimService:
     async def __aenter__(self) -> "CryptoPimService":
         return self
 
-    async def __aexit__(self, *exc) -> None:
+    async def __aexit__(self, *exc: object) -> None:
         await self.stop()
 
     # -- reporting ------------------------------------------------------------
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, Any]:
         """Machine-readable service state: metrics + chip/fleet timelines.
 
         ``chip`` remains shard 0's timeline for single-chip compatibility;

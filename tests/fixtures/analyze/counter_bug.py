@@ -1,0 +1,36 @@
+"""FIXTURE - deliberately buggy; parsed by tests, never imported.
+
+Counter-ledger violations: a counter-declaring class mutating its own
+counters from a method that is not charge-prefixed, and a free function
+reaching into another object's ledger.  ``charge_row`` is the control
+sample the analyzer must NOT flag.
+
+Expected: ACC001 x3 (two self-mutations in ``finish_batch``, one
+external mutation in ``tally``).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LoopCost:
+    cycles: int = 0
+    busy_cycles: int = 0
+    row_events: int = 0
+
+    def charge_row(self, rows: int) -> None:
+        self.cycles += rows
+        self.row_events += rows
+
+    def finish_batch(self, span: int) -> None:
+        # ACC001 (x2): not a charge method, yet it writes the ledger
+        self.cycles += span
+        self.busy_cycles += span
+
+
+def tally(costs):
+    total = LoopCost()
+    for cost in costs:
+        # ACC001: external mutation of someone else's counter
+        total.cycles += cost.cycles
+    return total

@@ -1,0 +1,43 @@
+"""FIXTURE - deliberately buggy; parsed by tests, never imported.
+
+Width-discipline violations in a hot-kernel path (this file lives under
+a ``pim/`` directory so the default ``hot_kernel_dirs`` applies).  The
+``_ok`` functions are control samples the analyzer must NOT flag.
+
+Expected: MOD001 on the uint32 butterfly product, MOD002 on the signed
+int64 product, MOD003 on the unreduced narrowing astype.
+"""
+
+import numpy as np
+
+
+def butterfly_product_bad(top, twiddle, q):
+    # MOD001: uint32 * uint32 wraps at 32 bits; moduli up to 31 bits need
+    # 63-bit intermediates before the reduction sees them
+    t = np.uint32(top)
+    w = np.uint32(twiddle)
+    return (t * w) % np.uint32(q)
+
+
+def butterfly_product_ok(top, twiddle, q):
+    t = np.uint64(top)
+    w = np.uint64(twiddle)
+    return (t * w) % np.uint64(q)
+
+
+def signed_kernel_bad(values, twiddles, q):
+    # MOD002: rng.integers-style int64 arrays reaching a % - overflow
+    # wraps negative and the residue is silently wrong
+    a = values.astype(np.int64)
+    b = twiddles.astype(np.int64)
+    return (a * b) % q
+
+
+def narrow_unreduced_bad(wide_products):
+    # MOD003: nothing visibly reduced these values below 2^32
+    return wide_products.astype(np.uint32)
+
+
+def narrow_reduced_ok(wide_products, q):
+    reduced = wide_products % q
+    return reduced.astype(np.uint32)

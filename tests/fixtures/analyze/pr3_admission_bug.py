@@ -1,0 +1,85 @@
+"""FIXTURE - deliberately buggy; parsed by tests, never imported.
+
+The PR-3 admission-control quota leak, verbatim from commit 285c07c:
+``admit`` drains the tenant's token bucket *first* and only then applies
+the service's own backpressure gates.  A request refused with QUEUE_FULL
+or OVERLOAD_SHED has still burned a token, so once the backlog clears the
+innocent tenant finds itself RATE_LIMITED.  The analyzer must flag the
+``try_take`` call as ACC003.
+"""
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.serve.requests import Rejection, RejectReason, ServeRequest
+
+
+class TokenBucket:
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class AdmissionController:
+    """Pre-fix controller: the bucket is the FIRST gate, not the last."""
+
+    def __init__(self, policy, clock=time.monotonic):
+        self.policy = policy
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.policy.tenant_rate is None:
+            return None
+        if tenant not in self._buckets:
+            burst = self.policy.tenant_burst
+            if burst is None:
+                burst = max(8.0, 2.0 * self.policy.tenant_rate)
+            self._buckets[tenant] = TokenBucket(
+                self.policy.tenant_rate, burst, clock=self._clock)
+        return self._buckets[tenant]
+
+    def admit(self, request: ServeRequest,
+              queue_size: int) -> Optional[Rejection]:
+        """``None`` if the request may be enqueued, else the typed refusal."""
+        bucket = self._bucket(request.tenant)
+        if bucket is not None and not bucket.try_take():
+            return Rejection(
+                request_id=request.request_id, kind=request.kind,
+                n=request.n, reason=RejectReason.RATE_LIMITED,
+                detail=f"tenant {request.tenant!r} exceeded "
+                       f"{self.policy.tenant_rate:g} req/s",
+            )
+        if queue_size >= self.policy.queue_depth:
+            return Rejection(
+                request_id=request.request_id, kind=request.kind,
+                n=request.n, reason=RejectReason.QUEUE_FULL,
+                detail=f"queue at capacity ({self.policy.queue_depth})",
+            )
+        watermark = self.policy.shed_watermark * self.policy.queue_depth
+        if (queue_size >= watermark
+                and request.priority >= self.policy.shed_priority_floor):
+            return Rejection(
+                request_id=request.request_id, kind=request.kind,
+                n=request.n, reason=RejectReason.OVERLOAD_SHED,
+                detail=f"backlog {queue_size} over watermark "
+                       f"{watermark:.0f}; priority {request.priority} shed",
+            )
+        return None

@@ -1,0 +1,45 @@
+"""FIXTURE - deliberately buggy; parsed by tests, never imported.
+
+The PR-3 batching-window race, verbatim from commit 285c07c: the
+straggler loop awaits ``wait_for(queue.get(), remaining)``.  When the
+deadline expires, ``wait_for`` cancels the getter - but ``Queue.get``
+may already have dequeued an item inside its cancelled task, and that
+request is silently dropped (its future never resolves).  The analyzer
+must flag the ``wait_for`` call as ASY001.
+"""
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, List
+
+
+@dataclass(frozen=True)
+class BatchWindow:
+    capacity: int
+    max_wait_s: float
+
+
+async def collect_batch(queue: "asyncio.Queue", window: BatchWindow,
+                        out: List[Any] | None = None) -> List[Any]:
+    """Dequeue one batch according to ``window`` (pre-fix version)."""
+    items: List[Any] = [] if out is None else out
+    items.append(await queue.get())
+    # adaptive fast path: drain the backlog that is already here
+    while len(items) < window.capacity:
+        try:
+            items.append(queue.get_nowait())
+        except asyncio.QueueEmpty:
+            break
+    if len(items) >= window.capacity or window.max_wait_s == 0:
+        return items
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + window.max_wait_s
+    while len(items) < window.capacity:
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            break
+        try:
+            items.append(await asyncio.wait_for(queue.get(), remaining))
+        except asyncio.TimeoutError:
+            break
+    return items

@@ -1,0 +1,65 @@
+"""FIXTURE - deliberately buggy; parsed by tests, never imported.
+
+The PR-3 timeline accounting bug, verbatim from commit 285c07c:
+``ChipTimeline.dispatch`` counts *reconfigurations* but folds their
+cycles into the batch span - ``start = clock + reconfig`` and then
+``busy_cycles += completions[-1] - start`` never books the switch
+rewiring anywhere, so ``busy + reconfig + idle == clock`` cannot hold
+and utilisation over-reports.  The analyzer must flag the method as
+ACC002.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+RECONFIGURATION_CYCLES = 128
+
+
+@dataclass
+class ChipTimeline:
+    """Virtual cycle clock of the one shared chip (pre-fix version)."""
+
+    chip: object = None
+    clock_cycles: int = 0
+    configured_n: Optional[int] = None
+    reconfigurations: int = 0
+    busy_cycles: int = 0
+    batches: int = 0
+    items: int = 0
+    _models: Dict[int, object] = field(default_factory=dict)
+
+    def dispatch(self, n: int, count: int):
+        """Advance the chip clock by one batch of ``count`` degree-``n``
+        multiplications and return per-item completion times."""
+        if count < 1:
+            raise ValueError("a dispatched batch must contain >= 1 item")
+        config = self.chip.configure(n)
+        model = self._models[min(n, 2048)]
+        reconfig = 0
+        if self.configured_n is not None and self.configured_n != n:
+            reconfig = RECONFIGURATION_CYCLES
+            self.reconfigurations += 1
+        start = self.clock_cycles + reconfig
+        superbanks = config.parallel_multiplications
+        stage = model.stage_cycles * config.segments_per_polynomial
+        depth = model.depth
+        completions = [
+            start + (depth + i // superbanks) * stage for i in range(count)
+        ]
+        self.configured_n = n
+        self.clock_cycles = completions[-1]
+        self.busy_cycles += completions[-1] - start
+        self.batches += 1
+        self.items += count
+        return completions
+
+    def snapshot(self) -> dict:
+        return {
+            "clock_cycles": self.clock_cycles,
+            "busy_cycles": self.busy_cycles,
+            "utilization": (self.busy_cycles / self.clock_cycles
+                            if self.clock_cycles else 0.0),
+            "batches": self.batches,
+            "items": self.items,
+            "configured_n": self.configured_n,
+        }

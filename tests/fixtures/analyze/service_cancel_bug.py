@@ -1,0 +1,45 @@
+"""FIXTURE - deliberately buggy; parsed by tests, never imported.
+
+Three serving-layer coroutine bugs in one drain worker:
+
+* the worker task is started fire-and-forget (ASY002);
+* the CancelledError failover covers the dequeue but leaves the fleet
+  lease ``async with`` uncovered - ``stop()`` landing there abandons the
+  futures the handler exists to protect (ASY003, the bug the hardened
+  ``CryptoPimService._drain`` now guards against);
+* a coroutine here mutates ``pending_leases`` / ``healthy``, which are
+  owned by ``serve/fleet.py`` (ASY004).
+"""
+
+import asyncio
+
+
+class ShardedService:
+    def __init__(self, fleet, batcher):
+        self.fleet = fleet
+        self.batcher = batcher
+        self.stopped = False
+
+    def start(self) -> None:
+        # ASY002: the handle is discarded; the loop keeps only a weak
+        # reference, so the worker can be garbage-collected mid-flight
+        asyncio.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        while not self.stopped:
+            try:
+                pendings = await self.batcher.collect()
+            except asyncio.CancelledError:
+                for pending in pendings:
+                    pending.future.set_result(None)
+                raise
+            # ASY003: a cancellation landing on this lease abandons the
+            # futures the handler above just promised to resolve
+            async with self.fleet.lease(len(pendings)) as shard:
+                shard.dispatch(pendings)
+
+    async def _evict(self, shard) -> None:
+        # ASY004 (x2): both attributes are owned by serve/fleet.py;
+        # writing them here races the fleet's own bookkeeping
+        shard.pending_leases -= 1
+        shard.healthy = False

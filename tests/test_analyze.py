@@ -1,0 +1,292 @@
+"""Tests for ``repro.analyze``: the fixtures (the exact PR-3 bugs) must
+be flagged with the expected rule ids, suppressions and baselines must
+behave, the CLI must speak the documented exit codes, and the shipped
+``src/repro`` tree must scan clean against the committed baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import Analyzer, Baseline, all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analyze"
+
+ALL_RULE_IDS = [
+    "MOD001", "MOD002", "MOD003",
+    "ASY001", "ASY002", "ASY003", "ASY004",
+    "ACC001", "ACC002", "ACC003",
+]
+
+# fixture file -> exact multiset of rule ids the analyzer must report
+EXPECTED = {
+    "pr3_batcher_bug.py": {"ASY001": 1},
+    "pr3_admission_bug.py": {"ACC003": 1},
+    "pr3_scheduler_bug.py": {"ACC002": 1},
+    "pim/width_bug.py": {"MOD001": 1, "MOD002": 1, "MOD003": 1},
+    "service_cancel_bug.py": {"ASY002": 1, "ASY003": 1, "ASY004": 2},
+    "counter_bug.py": {"ACC001": 3},
+}
+
+
+def analyze(paths, rules=None, root=None):
+    report = Analyzer(rules=rules, root=root).run([Path(p) for p in paths])
+    assert report.parse_errors == []
+    return report
+
+
+class TestRuleRegistry:
+    def test_all_rules_registered(self):
+        assert sorted(r.meta.id for r in all_rules()) == sorted(ALL_RULE_IDS)
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            Analyzer(rules=["NOPE999"])
+
+
+class TestFixtures:
+    """The committed fixtures reproduce the PR-3 bugs verbatim; every one
+    must be flagged with exactly the expected rules - nothing missing,
+    nothing spurious."""
+
+    @pytest.mark.parametrize("fixture,expected", sorted(EXPECTED.items()))
+    def test_fixture_flagged_exactly(self, fixture, expected):
+        report = analyze([FIXTURES / fixture], root=FIXTURES)
+        got = Counter(f.rule for f in report.findings)
+        assert got == Counter(expected)
+
+    def test_whole_fixture_tree(self):
+        report = analyze([FIXTURES], root=FIXTURES)
+        got = Counter(f.rule for f in report.findings)
+        want = Counter()
+        for counts in EXPECTED.values():
+            want.update(counts)
+        assert got == want
+
+    def test_findings_carry_location_and_snippet(self):
+        report = analyze([FIXTURES / "pr3_batcher_bug.py"], root=FIXTURES)
+        (finding,) = report.findings
+        assert finding.rule == "ASY001"
+        assert finding.path == "pr3_batcher_bug.py"
+        assert finding.line > 0
+        assert "wait_for" in finding.snippet
+        assert "pr3_batcher_bug.py" in finding.render()
+
+    def test_control_samples_not_flagged(self):
+        # the _ok functions in the width fixture must stay silent
+        report = analyze([FIXTURES / "pim" / "width_bug.py"], root=FIXTURES)
+        flagged_lines = {f.line for f in report.findings}
+        source = (FIXTURES / "pim" / "width_bug.py").read_text().splitlines()
+        for lineno in flagged_lines:
+            ok_region = any(
+                "_ok" in source[i]
+                for i in range(max(0, lineno - 6), lineno)
+                if source[i].lstrip().startswith("def ")
+            )
+            assert not ok_region, f"control sample flagged at line {lineno}"
+
+
+MOD001_SNIPPET = """\
+import numpy as np
+
+def butterfly(top, twiddle, q):
+    t = np.uint32(top)
+    w = np.uint32(twiddle)
+    return (t * w) % np.uint32(q)
+"""
+
+
+class TestSuppression:
+    def _run(self, tmp_path, source):
+        path = tmp_path / "kernel.py"
+        path.write_text(source)
+        return Analyzer(rules=["MOD001"], root=tmp_path).run([path])
+
+    def test_unsuppressed_baseline_case(self, tmp_path):
+        report = self._run(tmp_path, MOD001_SNIPPET)
+        assert [f.rule for f in report.findings] == ["MOD001"]
+        assert report.suppressed == 0
+
+    def test_allow_on_flagged_line(self, tmp_path):
+        source = MOD001_SNIPPET.replace(
+            "% np.uint32(q)", "% np.uint32(q)  # repro: allow(MOD001)")
+        report = self._run(tmp_path, source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_allow_on_line_above(self, tmp_path):
+        source = MOD001_SNIPPET.replace(
+            "    return (t * w)",
+            "    # repro: allow(MOD001)\n    return (t * w)")
+        report = self._run(tmp_path, source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_allow_star_silences_everything(self, tmp_path):
+        source = MOD001_SNIPPET.replace(
+            "% np.uint32(q)", "% np.uint32(q)  # repro: allow(*)")
+        report = self._run(tmp_path, source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_allow_other_rule_does_not_apply(self, tmp_path):
+        source = MOD001_SNIPPET.replace(
+            "% np.uint32(q)", "% np.uint32(q)  # repro: allow(ASY001)")
+        report = self._run(tmp_path, source)
+        assert [f.rule for f in report.findings] == ["MOD001"]
+        assert report.suppressed == 0
+
+
+class TestBaseline:
+    def _findings(self, tmp_path, source=MOD001_SNIPPET, name="kernel.py"):
+        path = tmp_path / name
+        path.write_text(source)
+        return Analyzer(rules=["MOD001"], root=tmp_path).run([path]).findings
+
+    def test_roundtrip(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        baseline.save(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        assert loaded.entries == baseline.entries
+
+    def test_apply_splits_new_known_stale(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        baseline.entries["deadbeefdeadbeef"] = {"rule": "MOD001",
+                                                "path": "gone.py"}
+        diff = baseline.apply(findings)
+        assert diff.new == []
+        assert [f.rule for f in diff.known] == ["MOD001"]
+        assert diff.stale == ["deadbeefdeadbeef"]
+        assert Baseline().apply(findings).new == findings
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == {}
+
+    def test_bad_version_rejected(self, tmp_path):
+        (tmp_path / "b.json").write_text('{"version": 99, "findings": {}}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(tmp_path / "b.json")
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        """Baselines must not churn when unrelated lines move the finding:
+        fingerprints are keyed on (rule, path, snippet, occurrence)."""
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        shifted = "# a comment pushing everything down\n\n\n" + MOD001_SNIPPET
+        fp1 = {f.fingerprint for f in self._findings(a)}
+        (b / "kernel.py").write_text(shifted)
+        report = Analyzer(rules=["MOD001"], root=b).run([b / "kernel.py"])
+        fp2 = {f.fingerprint for f in report.findings}
+        assert fp1 == fp2
+
+    def test_duplicate_snippets_get_distinct_fingerprints(self, tmp_path):
+        doubled = MOD001_SNIPPET + "\n\n" + MOD001_SNIPPET.replace(
+            "def butterfly", "def butterfly2")
+        findings = self._findings(tmp_path, source=doubled)
+        assert len(findings) == 2
+        assert len({f.fingerprint for f in findings}) == 2
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=120)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli("src/repro/analyze", "--no-baseline")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new" in proc.stdout
+
+    def test_findings_exit_one_with_json(self):
+        proc = run_cli("tests/fixtures/analyze/pim", "--no-baseline",
+                       "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert sorted(f["rule"] for f in payload["new"]) == [
+            "MOD001", "MOD002", "MOD003"]
+        assert payload["files_scanned"] == 1
+        assert payload["parse_errors"] == []
+
+    def test_unknown_rule_exits_two(self):
+        proc = run_cli("src/repro/analyze", "--rules", "NOPE999")
+        assert proc.returncode == 2
+        assert "NOPE999" in proc.stderr
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}')
+        proc = run_cli("src/repro/analyze", "--baseline", str(bad))
+        assert proc.returncode == 2
+        assert "bad baseline" in proc.stderr
+
+    def test_baseline_lifecycle(self, tmp_path):
+        """update-baseline accepts debt, reruns pass, fixing the code makes
+        the entry stale, and --strict forces the baseline to shrink."""
+        target = tmp_path / "kernel.py"
+        target.write_text(MOD001_SNIPPET)
+        baseline = tmp_path / "baseline.json"
+
+        proc = run_cli(str(target), "--baseline", str(baseline),
+                       "--update-baseline")
+        assert proc.returncode == 0
+        assert baseline.exists()
+
+        proc = run_cli(str(target), "--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+        # fix the bug: the baseline entry goes stale
+        target.write_text(MOD001_SNIPPET.replace("uint32", "uint64"))
+        proc = run_cli(str(target), "--baseline", str(baseline))
+        assert proc.returncode == 0
+        assert "stale" in proc.stdout
+        proc = run_cli(str(target), "--baseline", str(baseline), "--strict")
+        assert proc.returncode == 1
+
+    def test_strict_passes_when_clean(self, tmp_path):
+        target = tmp_path / "kernel.py"
+        target.write_text(MOD001_SNIPPET.replace("uint32", "uint64"))
+        proc = run_cli(str(target), "--baseline",
+                       str(tmp_path / "none.json"), "--strict")
+        assert proc.returncode == 0
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in proc.stdout
+
+
+class TestSelfCheck:
+    """The acceptance gates: src/repro scans clean against the committed
+    baseline, fast enough to sit in CI."""
+
+    def test_src_repro_clean_and_fast(self):
+        started = time.perf_counter()
+        report = Analyzer(root=REPO_ROOT).run([REPO_ROOT / "src" / "repro"])
+        elapsed = time.perf_counter() - started
+        assert report.parse_errors == []
+        baseline = Baseline.load(REPO_ROOT / "analyze-baseline.json")
+        diff = baseline.apply(report.findings)
+        assert diff.new == [], [f.render() for f in diff.new]
+        assert elapsed < 10.0
+
+    def test_committed_baseline_loads(self):
+        baseline = Baseline.load(REPO_ROOT / "analyze-baseline.json")
+        assert isinstance(baseline.entries, dict)

@@ -1,0 +1,86 @@
+"""Boundary-value coverage for the Algorithm 3 reduction programs.
+
+Every generated program carries an ``input_bound`` contract; these tests
+pin the exact edges for each of the paper's moduli: the additive identity
+``0``, the largest residue ``q - 1``, the full butterfly product
+``(q - 1)^2``, and each program's own declared bound.  The correction
+count in :func:`repro.pim.reduction_programs.barrett_program` and the
+single ``csubq`` after REDC are sized from worst-case analysis - an
+off-by-one there only ever shows up at these edges.
+"""
+
+import pytest
+
+from repro.ntt.reduction import MontgomeryReducer
+from repro.pim.reduction_programs import (
+    PAPER_MODULI,
+    ReductionKit,
+    barrett_program,
+    montgomery_program,
+)
+
+FULL_PRODUCT = {q: (q - 1) * (q - 1) for q in PAPER_MODULI}
+
+
+def boundary_values(bound: int) -> list:
+    """The interesting inputs for a program with the given bound."""
+    return sorted({0, 1, bound // 2, bound - 1, bound})
+
+
+@pytest.mark.parametrize("q", PAPER_MODULI)
+class TestBarrettBoundaries:
+    def test_full_product_bound(self, q):
+        prog = barrett_program(q, input_bound=FULL_PRODUCT[q])
+        for a in [0, q - 1, q, FULL_PRODUCT[q]] + boundary_values(
+                FULL_PRODUCT[q]):
+            assert prog.run(a) == a % q, f"a={a}"
+
+    def test_kit_bound_post_addition(self, q):
+        # the kit's Barrett serves post-add/sub values, bound 2(q-1)
+        kit = ReductionKit.for_modulus(q)
+        bound = 2 * (q - 1)
+        for a in boundary_values(bound):
+            assert kit.barrett.run(a) == a % q, f"a={a}"
+
+    def test_residues_are_fixed_points(self, q):
+        prog = barrett_program(q, input_bound=FULL_PRODUCT[q])
+        for a in (0, 1, q // 2, q - 1):
+            assert prog.run(a) == a
+
+
+@pytest.mark.parametrize("q", PAPER_MODULI)
+class TestMontgomeryBoundaries:
+    def test_full_product_bound(self, q):
+        # default bound: the butterfly product of two residues
+        prog = montgomery_program(q)
+        reducer = MontgomeryReducer(q, prog.meta["r_bits"])
+        for a in [0, q - 1, FULL_PRODUCT[q]] + boundary_values(
+                FULL_PRODUCT[q]):
+            got = prog.run(a)
+            assert got == reducer.redc(a), f"a={a}"
+            assert 0 <= got < q
+
+    def test_kit_bound_biased_difference(self, q):
+        # the kit's Montgomery serves (T + q - A) * w, bound (2q-2)(q-1)
+        kit = ReductionKit.for_modulus(q)
+        reducer = kit.montgomery_reducer()
+        bound = (2 * q - 2) * (q - 1)
+        for a in boundary_values(bound):
+            got = kit.montgomery.run(a)
+            assert got == reducer.redc(a), f"a={a}"
+            assert 0 <= got < q
+
+    def test_zero_maps_to_zero(self, q):
+        assert montgomery_program(q).run(0) == 0
+
+
+@pytest.mark.parametrize("q", PAPER_MODULI)
+def test_round_trip_through_both_programs(q):
+    """Montgomery-domain multiply then Barrett-correct: the composition
+    the butterfly actually executes stays on the ring."""
+    kit = ReductionKit.for_modulus(q)
+    reducer = kit.montgomery_reducer()
+    x, w = q - 1, q - 2
+    w_mont = (w * reducer.R) % q
+    # (x * w_mont) * R^-1 == x * w (mod q)
+    assert kit.montgomery.run(x * w_mont) == (x * w) % q
