@@ -69,6 +69,40 @@ async def closed_pair(profile_name: str, total: int, concurrency: int,
     }
 
 
+async def tracing_overhead(total: int, concurrency: int, seed: int) -> dict:
+    """Tracing cost, both sides of the knob, at equal offered load.
+
+    ``tracing_off`` is the guard the no-op tracer must pass: with
+    tracing disabled every span call is a shared null object, so the
+    batched throughput must stay within noise of the pre-tracing
+    baseline (the committed ``BENCH_serving.json``).  ``tracing_on``
+    documents what full request tracing actually costs.
+    """
+    profile = PROFILES["polymul-1024"]
+    reports = {}
+    for label, config in (
+        ("tracing_off", ServiceConfig()),
+        ("tracing_on", ServiceConfig(tracing=True)),
+    ):
+        async with CryptoPimService(config) as service:
+            report = await run_closed_loop(
+                service, profile, total_requests=total,
+                concurrency=64 if concurrency > 64 else concurrency,
+                seed=seed)
+            reports[label] = report
+            print(f"  {label:12s} {report.render()}")
+    ratio = (reports["tracing_on"].throughput_per_s
+             / reports["tracing_off"].throughput_per_s)
+    print(f"  -> tracing-on throughput is x{ratio:.3f} of tracing-off")
+    return {
+        "profile": "polymul-1024",
+        "total_requests": total,
+        "tracing_off": reports["tracing_off"].to_dict(),
+        "tracing_on": reports["tracing_on"].to_dict(),
+        "throughput_ratio_on_vs_off": ratio,
+    }
+
+
 async def overload_scenario(total: int, seed: int) -> dict:
     """Open-loop Poisson far above capacity: must shed, not queue."""
     config = ServiceConfig(queue_depth=16, shed_watermark=0.5)
@@ -110,6 +144,11 @@ async def run(args: argparse.Namespace) -> dict:
         scenarios.append(await closed_pair(
             "mixed-pk", total // 2, concurrency, args.seed))
 
+    print("closed loop: no-op tracer guard (tracing off vs on)")
+    # same offered load as the headline, so the committed-baseline
+    # comparison in main() is apples to apples
+    tracing = await tracing_overhead(total, concurrency, args.seed)
+
     print("open loop: overload at 50k req/s, queue_depth=16")
     overload = await overload_scenario(
         240 if args.smoke else 960, args.seed)
@@ -122,6 +161,7 @@ async def run(args: argparse.Namespace) -> dict:
         "smoke": bool(args.smoke),
         "headline_speedup_n1024": speedup,
         "closed_loop": scenarios,
+        "tracing_overhead": tracing,
         "overload": overload,
     }
 
@@ -135,13 +175,38 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_serving.json")
     args = parser.parse_args(argv)
 
+    # the previous run's batched headline is the no-op tracer reference
+    prior_throughput = None
+    if args.out.exists():
+        try:
+            prior = json.loads(args.out.read_text())
+            prior_throughput = prior["closed_loop"][0]["batched"][
+                "throughput_per_s"]
+        except (json.JSONDecodeError, KeyError, IndexError, TypeError):
+            prior_throughput = None
+
     payload = asyncio.run(run(args))
+    if prior_throughput:
+        off = payload["tracing_overhead"]["tracing_off"]["throughput_per_s"]
+        payload["tracing_overhead"]["prior_batched_throughput_per_s"] = \
+            prior_throughput
+        payload["tracing_overhead"]["throughput_ratio_off_vs_prior"] = \
+            off / prior_throughput
+        print(f"no-op tracer guard: tracing-off throughput is "
+              f"x{off / prior_throughput:.3f} of the previous baseline")
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[saved to {args.out}]")
+    failed = False
     if payload["headline_speedup_n1024"] < 4.0 and not args.smoke:
         print("WARNING: headline speedup below the 4x target", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if (prior_throughput and not args.smoke
+            and payload["tracing_overhead"]["throughput_ratio_off_vs_prior"]
+            < 0.97):
+        print("WARNING: disabled tracing cost more than 3% of the previous "
+              "baseline throughput", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

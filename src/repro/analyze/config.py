@@ -46,6 +46,12 @@ class AnalyzeConfig:
     })
     #: method names whose call produces a fresh queue item (ASY001)
     queue_get_methods: Tuple[str, ...] = ("get", "get_nowait")
+    #: span-opening methods of the repro.obs tracing API (OBS001);
+    #: ``start_trace`` is deliberately absent - root spans are handoff
+    #: objects finished wherever the request resolves
+    span_open_methods: Tuple[str, ...] = ("start_span", "child")
+    #: the matching close
+    span_close_methods: Tuple[str, ...] = ("finish",)
 
 
 DEFAULT_CONFIG = AnalyzeConfig()

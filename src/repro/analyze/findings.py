@@ -39,7 +39,7 @@ class RuleMeta:
     """Static description of one rule (also drives ``docs/LINTS.md``)."""
 
     id: str
-    family: str          # "modmath" | "asyncio" | "accounting"
+    family: str          # "modmath" | "asyncio" | "accounting" | "obs"
     severity: Severity
     summary: str         # one line, shown in findings
     rationale: str       # which past bug / paper constraint it encodes

@@ -76,3 +76,4 @@ def _ensure_loaded() -> None:
     from . import rules_accounting  # noqa: F401
     from . import rules_asyncio    # noqa: F401
     from . import rules_modmath    # noqa: F401
+    from . import rules_obs        # noqa: F401

@@ -1,0 +1,158 @@
+"""Tracing-discipline rules for the ``repro.obs`` span API.
+
+A span that is opened but not deterministically closed never reaches the
+journal: :meth:`Span.finish` is what records a root trace, and an open
+child poisons :func:`repro.obs.decompose` for its whole trace.  The API
+offers three safe shapes - ``with`` statement, ``finally``-guarded
+``finish()``, and born-finished construction via ``end_s=`` - and OBS001
+flags span-opening calls that use none of them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from .config import AnalyzeConfig
+from .context import ModuleContext
+from .findings import Finding, RuleMeta, Severity
+from .registry import Rule, register
+
+__all__ = ["ObsSpanLeak"]
+
+
+def _is_span_open(node: ast.AST, config: AnalyzeConfig) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in config.span_open_methods)
+
+
+def _finally_nodes(func: ast.AST) -> Set[int]:
+    """ids of every node located inside some ``finally:`` block of ``func``."""
+    inside: Set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            inside.add(id(stmt))
+            for sub in ast.walk(stmt):
+                inside.add(id(sub))
+    return inside
+
+
+def _walk_no_nested(func: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ObsSpanLeak(Rule):
+    """OBS001: span opened without a finally/context-manager close."""
+
+    meta = RuleMeta(
+        id="OBS001",
+        family="obs",
+        severity=Severity.WARNING,
+        summary="span opened without a finally/context-manager close on all paths",
+        rationale=(
+            "An exception between a span-opening call and its finish() "
+            "leaves the span open forever: the trace never reaches the "
+            "journal (roots are recorded by finish), exact latency "
+            "decomposition raises on the open child, and the leak is "
+            "invisible until someone reads an empty trace file. Close "
+            "spans in a with statement or a finally block, or construct "
+            "them born-finished with end_s=."),
+    )
+
+    def check(self, ctx: ModuleContext,
+              config: AnalyzeConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not _is_span_open(node, config):
+                continue
+            assert isinstance(node, ast.Call)
+            if any(kw.arg == "end_s" for kw in node.keywords):
+                continue  # born-finished: closed at construction
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.withitem):
+                continue  # with tracer.start_span(...): closes on exit
+            if isinstance(parent, ast.Expr):
+                yield self.finding(
+                    ctx, node,
+                    "span handle discarded: nothing can ever finish() this "
+                    "span, so it stays open and corrupts its trace; bind "
+                    "it and close it in a finally block, or pass end_s= to "
+                    "create it born-finished")
+                continue
+            name = self._assigned_name(parent)
+            if name is None:
+                continue  # stored on an object / returned: handoff, owner closes
+            func = ctx.enclosing_function(node)
+            if func is None:
+                continue
+            if self._escapes(func, name):
+                continue  # returned/yielded/stored: ownership transferred
+            if self._closed_safely(func, name, config):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"span '{name}' has no finish() in a finally block and no "
+                f"with statement in this function: an exception on the "
+                f"happy path leaks the span and its whole trace; wrap the "
+                f"region in try/finally or use the span as a context "
+                f"manager")
+
+    @staticmethod
+    def _assigned_name(parent: Optional[ast.AST]) -> Optional[str]:
+        if (isinstance(parent, ast.Assign) and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)):
+            return parent.targets[0].id
+        if (isinstance(parent, ast.AnnAssign)
+                and isinstance(parent.target, ast.Name)):
+            return parent.target.id
+        return None
+
+    @staticmethod
+    def _escapes(func: ast.AST, name: str) -> bool:
+        """The handle leaves the function (return/yield) or is stored on an
+        object - closing becomes the new owner's responsibility."""
+        for node in _walk_no_nested(func):
+            if (isinstance(node, (ast.Return, ast.Yield))
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == name):
+                return True
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Attribute) for t in node.targets):
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id == name:
+                            return True
+            if isinstance(node, ast.Call):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        # passed away (e.g. stored in a pending record or a
+                        # dataclass): treat as handoff, not a leak
+                        return True
+        return False
+
+    def _closed_safely(self, func: ast.AST, name: str,
+                       config: AnalyzeConfig) -> bool:
+        in_finally = _finally_nodes(func)
+        for node in _walk_no_nested(func):
+            # with <name>: / async with <name>: closes on exit
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return True
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in config.span_close_methods
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                    and id(node) in in_finally):
+                return True
+        return False

@@ -72,6 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default="affinity",
                        help="fleet routing policy (default: degree-affinity "
                             "with power-of-two-choices balancing)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="enable request tracing and write a Chrome "
+                            "trace-event / Perfetto JSON file here")
+    serve.add_argument("--trace-capacity", type=int, default=1024,
+                       help="trace reservoir size (aggregates stay exact)")
+    serve.add_argument("--trace-sample-rate", type=float, default=1.0,
+                       help="fraction of traces offered to the reservoir")
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a saved serve-bench trace (slowest requests, "
+             "stage breakdown, per-shard cycle lanes)")
+    trace.add_argument("file", help="trace JSON written by serve-bench --trace")
+    trace.add_argument("--top", type=int, default=5,
+                       help="slowest requests to decompose")
 
     from .analyze.cli import add_analyze_parser
     add_analyze_parser(sub)
@@ -123,6 +138,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         num_chips=args.chips,
         routing=args.routing,
+        tracing=args.trace is not None,
+        trace_capacity=args.trace_capacity,
+        trace_sample_rate=args.trace_sample_rate,
     )
 
     async def drive() -> int:
@@ -141,9 +159,37 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(report.render())
             print()
             print(service.render_summary())
+            if args.trace is not None:
+                from .obs import stage_table
+                doc = service.write_trace(args.trace)
+                print()
+                print(stage_table(doc))
+                print(f"\ntrace written to {args.trace} "
+                      f"(open in ui.perfetto.dev or chrome://tracing)")
         return 0
 
     return asyncio.run(drive())
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_trace_doc, validate_chrome_trace
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot load trace {args.file!r}: {error}")
+        return 2
+    problems = validate_chrome_trace(doc)
+    if problems:
+        print(f"{args.file} is not a valid trace-event file:")
+        for problem in problems[:10]:
+            print(f"  {problem}")
+        return 1
+    print(render_trace_doc(doc, top=args.top))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -196,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_microcode(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(args.command)  # pragma: no cover
 
 

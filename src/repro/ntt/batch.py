@@ -30,7 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Tuple
+from time import perf_counter
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -45,10 +46,31 @@ __all__ = [
     "modmul_fixed",
     "kernel_dtype",
     "check_kernel_modulus",
+    "set_stage_hook",
+    "StageHook",
     "KERNEL_MAX_Q_BITS",
     "SHOUP_MAX_Q",
     "UINT32_MAX_Q",
 ]
+
+#: profiling callback fired once per butterfly stage with
+#: ``(n, stage, batch, seconds)``; see :class:`repro.obs.KernelProfiler`
+StageHook = Callable[[int, int, int, float], None]
+
+_STAGE_HOOK: Optional[StageHook] = None
+
+
+def set_stage_hook(hook: Optional[StageHook]) -> Optional[StageHook]:
+    """Install (or clear, with ``None``) the kernel stage hook.
+
+    Returns the previously installed hook so profilers can nest and
+    restore.  The uninstalled cost is one ``is not None`` branch per
+    stage (``log2(n)`` per transform) - nothing measurable.
+    """
+    global _STAGE_HOOK
+    previous = _STAGE_HOOK
+    _STAGE_HOOK = hook
+    return previous
 
 #: Shoup precomputation shift: w_shoup = floor(w * 2^31 / q)
 _SHOUP_SHIFT = np.uint64(31)
@@ -224,8 +246,10 @@ def gs_kernel_batch(
     use_shoup = q < SHOUP_MAX_Q and values.dtype == np.uint64
     if use_shoup and twiddles_shoup is None:
         twiddles_shoup = shoup_table(tw, q)
+    hook = _STAGE_HOOK
     if values.flags.c_contiguous:
-        for groups, distance in plan.shapes:
+        for stage, (groups, distance) in enumerate(plan.shapes):
+            began = perf_counter() if hook is not None else 0.0
             v = values.reshape(batch, groups, 2, distance)
             bot = v[:, :, 1, :]
             t = v[:, :, 0, :].copy()
@@ -245,8 +269,12 @@ def gs_kernel_batch(
                 # (t - bot) can be negative; lift by q before the unsigned
                 # subtract
                 v[:, :, 1, :] = (w * ((t + q - bot) % q)) % q
+            if hook is not None:
+                hook(n, stage, batch, perf_counter() - began)
     else:
-        for tops, bots, widx in zip(plan.tops, plan.bots, plan.twiddle_idx):
+        for stage, (tops, bots, widx) in enumerate(
+                zip(plan.tops, plan.bots, plan.twiddle_idx)):
+            began = perf_counter() if hook is not None else 0.0
             w = tw[widx]
             t = values[:, tops]
             bot = values[:, bots]
@@ -259,4 +287,6 @@ def gs_kernel_batch(
             else:
                 values[:, tops] = (t + bot) % q
                 values[:, bots] = (w * ((t + q - bot) % q)) % q
+            if hook is not None:
+                hook(n, stage, batch, perf_counter() - began)
     return values

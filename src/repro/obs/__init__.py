@@ -1,0 +1,42 @@
+"""repro.obs - end-to-end request tracing for the serving stack.
+
+The paper argues from attribution ("multiplication is 6.8x the second
+slowest operation", Section IV-B); this package gives the serving layer
+the same power per request: dual-clock spans (wall seconds + simulated
+chip cycles), a bounded journal, Chrome trace-event / Perfetto export,
+and offline renderers behind ``repro trace``.
+
+Layering: ``repro.serve`` imports this package (never the reverse), so
+obs stays usable standalone - a bare :class:`Tracer` + journal traces
+any code, not just the service.
+"""
+
+from .journal import StageStats, TraceJournal
+from .kernel import KernelProfiler
+from .span import (NULL_SPAN, NULL_TRACER, NullTracer, Segment, Span,
+                   Tracer, decompose)
+from .export import (export_chrome_trace, trace_events,
+                     validate_chrome_trace, write_chrome_trace)
+from .views import (render_lanes, render_slowest, render_trace_doc,
+                    stage_table)
+
+__all__ = [
+    "Span",
+    "Segment",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "decompose",
+    "TraceJournal",
+    "StageStats",
+    "KernelProfiler",
+    "trace_events",
+    "export_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "stage_table",
+    "render_slowest",
+    "render_lanes",
+    "render_trace_doc",
+]

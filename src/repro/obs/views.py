@@ -1,0 +1,183 @@
+"""Human-readable views over exported traces.
+
+These renderers work on the *exported document* (the dict written by
+:func:`repro.obs.export.write_chrome_trace`), not on live spans, so the
+``repro trace`` subcommand can reconstruct every view from a saved file
+- the same tables a live run prints are reproducible offline from the
+artifact alone.
+
+Three views, echoing the questions the paper's own analysis asks:
+
+* :func:`stage_table` - flamegraph-style per-stage aggregation in the
+  house ``breakdown()`` style (exact over the whole run, not the
+  retained sample);
+* :func:`render_slowest` - the top-N slowest requests, each decomposed
+  into contiguous stage segments with wall shares and cycle charges;
+* :func:`render_lanes` - the per-shard cycle lanes: what each chip
+  executed on its virtual clock, reconfiguration penalties included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .export import PID_FLEET_CYCLES, PID_REQUESTS
+
+__all__ = [
+    "request_events",
+    "stage_table",
+    "render_slowest",
+    "render_lanes",
+    "render_trace_doc",
+]
+
+_ROOT_STAGE = "request"
+
+
+def _x_events(doc: Dict[str, Any], pid: int) -> List[Dict[str, Any]]:
+    return [ev for ev in doc.get("traceEvents", [])
+            if ev.get("ph") == "X" and ev.get("pid") == pid]
+
+
+def request_events(doc: Dict[str, Any]) -> Dict[int, List[Dict[str, Any]]]:
+    """Group pid-1 span events by request thread, sorted by start time."""
+    by_tid: Dict[int, List[Dict[str, Any]]] = {}
+    for ev in _x_events(doc, PID_REQUESTS):
+        by_tid.setdefault(int(ev["tid"]), []).append(ev)
+    for events in by_tid.values():
+        events.sort(key=lambda ev: (float(ev["ts"]), -float(ev["dur"])))
+    return by_tid
+
+
+def stage_table(doc: Dict[str, Any]) -> str:
+    """Per-stage wall/cycle aggregation (house breakdown() style)."""
+    trace = doc.get("otherData", {}).get("trace", {})
+    stages: Dict[str, Dict[str, Any]] = trace.get("stages", {})
+    root = trace.get("root", {})
+    completed = trace.get("completed", 0)
+    lines = [f"stage breakdown, {completed} requests "
+             f"({trace.get('retained', 0)} retained):"]
+    total_wall = sum(float(s.get("wall_s", 0.0)) for s in stages.values())
+    for name, stats in sorted(stages.items(),
+                              key=lambda kv: -float(kv[1].get("wall_s", 0))):
+        wall = float(stats.get("wall_s", 0.0))
+        share = wall / total_wall if total_wall else 0.0
+        cycles = int(stats.get("cycles", 0))
+        lines.append(
+            f"  {name:14s} {wall * 1e3:10.3f} ms  ({100 * share:5.1f}%)  "
+            f"mean {float(stats.get('wall_mean_s', 0.0)) * 1e6:8.1f} us  "
+            f"max {float(stats.get('wall_max_s', 0.0)) * 1e6:8.1f} us"
+            + (f"  {cycles:>12d} cyc" if cycles else ""))
+    lines.append(f"  {'ALL STAGES':14s} {total_wall * 1e3:10.3f} ms")
+    if root:
+        lines.append(
+            f"  {'e2e (roots)':14s} "
+            f"{float(root.get('wall_s', 0.0)) * 1e3:10.3f} ms  "
+            f"mean {float(root.get('wall_mean_s', 0.0)) * 1e6:8.1f} us  "
+            f"max {float(root.get('wall_max_s', 0.0)) * 1e6:8.1f} us")
+    return "\n".join(lines)
+
+
+def _decompose_events(
+        events: List[Dict[str, Any]],
+) -> Tuple[Dict[str, Any], List[Tuple[str, float, float]]]:
+    """Split one request's events into its root and (label, ts, dur)
+    segments covering the root, gaps labelled ``(gap)``."""
+    roots = [ev for ev in events
+             if ev.get("args", {}).get("stage", ev["name"]) == _ROOT_STAGE]
+    if not roots:
+        raise ValueError("request thread has no root 'request' span")
+    root = roots[0]
+    root_ts = float(root["ts"])
+    root_end = root_ts + float(root["dur"])
+    segments: List[Tuple[str, float, float]] = []
+    cursor = root_ts
+    for ev in events:
+        if ev is root:
+            continue
+        ts, dur = float(ev["ts"]), float(ev["dur"])
+        if ts > cursor:
+            segments.append(("(gap)", cursor, ts - cursor))
+        segments.append((str(ev["name"]), ts, dur))
+        cursor = max(cursor, ts + dur)
+    if cursor < root_end:
+        segments.append(("(gap)", cursor, root_end - cursor))
+    return root, segments
+
+
+def render_slowest(doc: Dict[str, Any], top: int = 5) -> str:
+    """The top-N slowest retained requests, decomposed stage by stage."""
+    by_tid = request_events(doc)
+    ranked = []
+    for tid, events in by_tid.items():
+        try:
+            root, segments = _decompose_events(events)
+        except ValueError:
+            continue
+        ranked.append((float(root["dur"]), tid, root, segments))
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+    if not ranked:
+        return "no request spans in trace"
+    lines = [f"top {min(top, len(ranked))} slowest of "
+             f"{len(ranked)} retained requests:"]
+    for dur_us, tid, root, segments in ranked[:top]:
+        args = root.get("args", {})
+        kind = args.get("kind", "?")
+        lines.append(
+            f"  req {tid}  {kind}  n={args.get('n', '?')}  "
+            f"e2e {dur_us / 1e3:9.3f} ms")
+        for label, _, seg_dur in segments:
+            share = seg_dur / dur_us if dur_us else 0.0
+            bar = "#" * max(1, round(24 * share)) if share > 0 else ""
+            lines.append(f"    {label:14s} {seg_dur / 1e3:9.3f} ms  "
+                         f"({100 * share:5.1f}%)  {bar}")
+    return "\n".join(lines)
+
+
+def render_lanes(doc: Dict[str, Any], max_events: int = 8) -> str:
+    """Per-shard cycle lanes from the pid-3 (fleet cycles) process."""
+    by_chip: Dict[int, List[Dict[str, Any]]] = {}
+    for ev in _x_events(doc, PID_FLEET_CYCLES):
+        by_chip.setdefault(int(ev["tid"]), []).append(ev)
+    if not by_chip:
+        return "no fleet cycle lanes in trace (no batches executed?)"
+    lines = ["per-shard cycle lanes (virtual chip clock):"]
+    for chip in sorted(by_chip):
+        events = sorted(by_chip[chip], key=lambda ev: float(ev["ts"]))
+        # every member of a batch carries the same execute span; dedupe
+        # by (name, batch_seq) so each dispatched batch appears once
+        seen = set()
+        unique = []
+        for ev in events:
+            args = ev.get("args", {})
+            key = (ev["name"], args.get("batch_seq", args.get("span_id")))
+            if key not in seen:
+                seen.add(key)
+                unique.append(ev)
+        # execute spans already include their reconfiguration rewiring
+        # (the reconfigure child is a zoom-in, not extra cycles)
+        total = sum(float(ev["dur"]) for ev in unique
+                    if ev["name"] == "execute")
+        end = max(float(ev["ts"]) + float(ev["dur"]) for ev in unique)
+        lines.append(f"  chip {chip}: {len(unique)} batch spans, "
+                     f"{int(total)} charged cycles, clock ends at "
+                     f"{int(end)}")
+        for ev in unique[:max_events]:
+            args = ev.get("args", {})
+            lines.append(
+                f"    [{int(float(ev['ts'])):>10d} .. "
+                f"{int(float(ev['ts']) + float(ev['dur'])):>10d}]  "
+                f"{ev['name']:12s} n={args.get('n', '?'):>5} "
+                f"batch={args.get('batch_size', '?')}")
+        if len(unique) > max_events:
+            lines.append(f"    ... ({len(unique) - max_events} more)")
+    return "\n".join(lines)
+
+
+def render_trace_doc(doc: Dict[str, Any], top: int = 5) -> str:
+    """The full ``repro trace`` report: aggregation, slowest, lanes."""
+    return "\n\n".join([
+        stage_table(doc),
+        render_slowest(doc, top=top),
+        render_lanes(doc),
+    ])

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..obs.span import NULL_SPAN, Span
 from .requests import Rejection, RejectReason, ServeRequest
 
 __all__ = ["TokenBucket", "AdmissionPolicy", "AdmissionController"]
@@ -111,8 +112,8 @@ class AdmissionController:
                 self.policy.tenant_rate, burst, clock=self._clock)
         return self._buckets[tenant]
 
-    def admit(self, request: ServeRequest,
-              queue_size: int) -> Optional[Rejection]:
+    def admit(self, request: ServeRequest, queue_size: int,
+              span: Span = NULL_SPAN) -> Optional[Rejection]:
         """``None`` if the request may be enqueued, else the typed refusal.
 
         The backpressure gates run *before* the tenant bucket is drained:
@@ -121,8 +122,16 @@ class AdmissionController:
         service would go on to rate-limit innocent tenants once the
         backlog clears.  Tokens are only consumed for requests the
         service is actually willing to enqueue.
+
+        ``span`` (the request trace's admit span) is annotated with the
+        queue depth seen and the gate that fired, so traces answer *why*
+        a request was refused, not just that it was.
         """
+        if span.enabled:
+            span.set(queue_size=queue_size)
         if queue_size >= self.policy.queue_depth:
+            if span.enabled:
+                span.set(outcome=RejectReason.QUEUE_FULL.value)
             return Rejection(
                 request_id=request.request_id, kind=request.kind,
                 n=request.n, reason=RejectReason.QUEUE_FULL,
@@ -131,6 +140,8 @@ class AdmissionController:
         watermark = self.policy.shed_watermark * self.policy.queue_depth
         if (queue_size >= watermark
                 and request.priority >= self.policy.shed_priority_floor):
+            if span.enabled:
+                span.set(outcome=RejectReason.OVERLOAD_SHED.value)
             return Rejection(
                 request_id=request.request_id, kind=request.kind,
                 n=request.n, reason=RejectReason.OVERLOAD_SHED,
@@ -139,10 +150,14 @@ class AdmissionController:
             )
         bucket = self._bucket(request.tenant)
         if bucket is not None and not bucket.try_take():
+            if span.enabled:
+                span.set(outcome=RejectReason.RATE_LIMITED.value)
             return Rejection(
                 request_id=request.request_id, kind=request.kind,
                 n=request.n, reason=RejectReason.RATE_LIMITED,
                 detail=f"tenant {request.tenant!r} exceeded "
                        f"{self.policy.tenant_rate:g} req/s",
             )
+        if span.enabled:
+            span.set(outcome="admitted")
         return None

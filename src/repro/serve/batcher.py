@@ -46,7 +46,8 @@ class BatchWindow:
 
 
 async def collect_batch(queue: "asyncio.Queue", window: BatchWindow,
-                        out: List[Any] | None = None) -> List[Any]:
+                        out: List[Any] | None = None,
+                        dequeued_at: List[float] | None = None) -> List[Any]:
     """Dequeue one batch according to ``window``.
 
     Blocks until at least one item is available (the service is idle until
@@ -58,18 +59,28 @@ async def collect_batch(queue: "asyncio.Queue", window: BatchWindow,
             if the coroutine is cancelled mid-window (service shutdown),
             the caller still sees every item already dequeued and can
             fail them over instead of dropping them silently.
+        dequeued_at: optional list receiving one ``loop.time()`` stamp per
+            dequeued item (same order as the batch) - the boundary between
+            a request's queue wait and its window wait in a trace.
     """
     items: List[Any] = [] if out is None else out
+    loop = asyncio.get_running_loop()
+
+    def stamp() -> None:
+        if dequeued_at is not None:
+            dequeued_at.append(loop.time())
+
     items.append(await queue.get())
+    stamp()
     # adaptive fast path: drain the backlog that is already here
     while len(items) < window.capacity:
         try:
             items.append(queue.get_nowait())
         except asyncio.QueueEmpty:
             break
+        stamp()
     if len(items) >= window.capacity or window.max_wait_s == 0:
         return items
-    loop = asyncio.get_running_loop()
     deadline = loop.time() + window.max_wait_s
     # A bare ``wait_for(queue.get(), remaining)`` has the classic item-loss
     # race: the timeout cancellation can land *after* ``get()`` already
@@ -90,6 +101,7 @@ async def collect_batch(queue: "asyncio.Queue", window: BatchWindow,
             except asyncio.TimeoutError:
                 break
             items.append(getter.result())
+            stamp()
             getter = None
     finally:
         if getter is not None:
@@ -97,6 +109,7 @@ async def collect_batch(queue: "asyncio.Queue", window: BatchWindow,
                 # the get raced the deadline (or an outer cancellation) and
                 # won: the item belongs to this batch, never the floor
                 items.append(getter.result())
+                stamp()
             else:
                 getter.cancel()
     return items

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 from contextlib import asynccontextmanager
 from dataclasses import dataclass
-from typing import Any, AsyncIterator, Dict, List, Optional, Sequence
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -155,6 +155,10 @@ class ChipFleet:
 
     def route(self, n: int) -> ChipShard:
         """Pick the shard the next degree-``n`` window should run on."""
+        return self._route(n)[0]
+
+    def _route(self, n: int) -> Tuple[ChipShard, str]:
+        """Route and name the decision (the ``routed.*`` counter key)."""
         healthy = self.healthy_shards()
         if not healthy:
             raise FleetDrained("every chip in the fleet is unhealthy")
@@ -164,7 +168,7 @@ class ChipFleet:
                 self._rr_cursor += 1
                 if shard.healthy:
                     self.counters["routed.balanced"] += 1
-                    return shard
+                    return shard, "balanced"
             raise FleetDrained("every chip in the fleet is unhealthy")
 
         affinity = [s for s in healthy if s.configured_n == n]
@@ -180,18 +184,20 @@ class ChipFleet:
                          + 2 * pick.gate.timeline.span_estimate(n))
             if pick.load_cycles() > least.load_cycles() + threshold:
                 self.counters["routed.spill"] += 1
-                return least
+                return least, "spill"
             self.counters["routed.affinity"] += 1
-            return pick
+            return pick, "affinity"
         fresh = [s for s in healthy if s.configured_n is None]
         if fresh:
             self.counters["routed.fresh"] += 1
-            return self._two_choices(fresh)
+            return self._two_choices(fresh), "fresh"
         self.counters["routed.balanced"] += 1
-        return self._two_choices(healthy)
+        return self._two_choices(healthy), "balanced"
 
     @asynccontextmanager
-    async def lease(self, n: int) -> AsyncIterator[ChipShard]:
+    async def lease(self, n: int,
+                    route_info: Optional[Dict[str, Any]] = None,
+                    ) -> AsyncIterator[ChipShard]:
         """Hold one healthy shard's gate for a degree-``n`` window.
 
         Routing and locking race against health changes: if the chosen
@@ -199,9 +205,17 @@ class ChipFleet:
         lease re-routes to a healthy sibling instead of dispatching onto
         a drained chip.  Work already *holding* a gate when the shard
         goes unhealthy completes normally.
+
+        Args:
+            route_info: optional dict filled with routing provenance for
+                the granted lease - ``chip`` (shard index), ``decision``
+                (affinity/fresh/balanced/spill) and ``rerouted`` (how
+                many unhealthy picks were abandoned first).  Trace spans
+                carry it so a saved trace explains every placement.
         """
+        rerouted = 0
         while True:
-            shard = self.route(n)
+            shard, decision = self._route(n)
             shard.pending_leases += 1
             try:
                 await shard.gate.__aenter__()
@@ -214,7 +228,12 @@ class ChipFleet:
                 shard.pending_leases -= 1
                 await shard.gate.__aexit__(None, None, None)
                 self.counters["rerouted.unhealthy"] += 1
+                rerouted += 1
                 continue
+            if route_info is not None:
+                route_info["chip"] = shard.index
+                route_info["decision"] = decision
+                route_info["rerouted"] = rerouted
             try:
                 yield shard
             finally:

@@ -79,7 +79,10 @@ class LatencyHistogram:
         value = float(value)
         self.count += 1
         self._sum += value
-        self._max = max(self._max, value)
+        # the first sample seeds the max (mirroring Gauge.high_water):
+        # an all-negative sample set (drift, deficit) must report its
+        # true maximum, not a spurious 0.0
+        self._max = value if self.count == 1 else max(self._max, value)
         if len(self._samples) < _RESERVOIR:
             self._samples.append(value)
         else:  # reservoir sampling keeps a uniform subset

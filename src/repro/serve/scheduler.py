@@ -43,10 +43,23 @@ class BatchTiming:
     reconfiguration_cycles: int
     completion_cycles: List[int]   # absolute chip cycle per item, in order
     completion_us: List[float]
+    seq: int = 0                   # 1-based dispatch index on its timeline
 
     @property
     def end_cycle(self) -> int:
         return self.completion_cycles[-1] if self.completion_cycles else self.start_cycle
+
+    @property
+    def clock_start(self) -> int:
+        """Where the chip clock stood when this batch was charged -
+        ``start_cycle`` minus any reconfiguration rewiring paid first."""
+        return self.start_cycle - self.reconfiguration_cycles
+
+    @property
+    def charged_cycles(self) -> int:
+        """Every cycle this batch advanced the clock (busy + reconfig);
+        the exact amount a shard-execute trace span must account for."""
+        return self.end_cycle - self.clock_start
 
     @property
     def occupancy(self) -> float:
@@ -117,6 +130,7 @@ class ChipTimeline:
             reconfiguration_cycles=reconfig,
             completion_cycles=completions,
             completion_us=[device.cycles_to_us(c) for c in completions],
+            seq=self.batches,
         )
 
     def span_estimate(self, n: int) -> int:

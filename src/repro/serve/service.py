@@ -46,6 +46,9 @@ from ..crypto.bfv import BfvScheme
 from ..crypto.bgv import BgvScheme
 from ..crypto.kyber import KyberKem
 from ..ntt.transform import NttEngine
+from ..obs.export import export_chrome_trace, write_chrome_trace
+from ..obs.journal import TraceJournal
+from ..obs.span import NULL_SPAN, NULL_TRACER, Span, Tracer
 from .admission import AdmissionController, AdmissionPolicy
 from .batcher import BatchWindow, collect_batch
 from .fleet import ChipFleet, FleetDrained
@@ -57,7 +60,7 @@ from .requests import (
     ServeRequest,
     ServeResult,
 )
-from .scheduler import ChipGate
+from .scheduler import BatchTiming, ChipGate
 
 __all__ = ["ServiceConfig", "CryptoPimService", "KYBER_DEGREE"]
 
@@ -91,6 +94,15 @@ class ServiceConfig:
             PR 2's single shared chip, unchanged.
         routing: fleet routing policy, ``"affinity"`` (degree-affinity +
             power-of-two-choices + spill) or ``"round_robin"``.
+        tracing: thread a :mod:`repro.obs` trace through every request
+            (admit / queue / window / lease / execute spans with chip
+            cycles).  Off by default; disabled tracing costs nothing but
+            a few no-op calls per request.
+        trace_capacity: reservoir size of retained traces (aggregates
+            stay exact regardless).
+        trace_sample_rate: fraction of traces offered to the reservoir.
+        trace_keep_slowest: slowest traces always retained (tail-latency
+            forensics survive sampling).
     """
 
     batch_capacity: Optional[int] = None
@@ -104,6 +116,10 @@ class ServiceConfig:
     seed: int = 0x5EED
     num_chips: int = 1
     routing: str = "affinity"
+    tracing: bool = False
+    trace_capacity: int = 1024
+    trace_sample_rate: float = 1.0
+    trace_keep_slowest: int = 32
 
     def admission_policy(self) -> AdmissionPolicy:
         return AdmissionPolicy(
@@ -122,6 +138,7 @@ class _Pending:
     request: ServeRequest
     enqueued_at: float
     future: "asyncio.Future[Union[ServeResult, Rejection]]"
+    trace: Span = NULL_SPAN
 
 
 @dataclass
@@ -146,6 +163,16 @@ class CryptoPimService:
                  chip: Optional[CryptoPimChip] = None):
         self.config = config
         self.metrics = MetricsRegistry()
+        if config.tracing:
+            self.journal: Optional[TraceJournal] = TraceJournal(
+                capacity=config.trace_capacity,
+                sample_rate=config.trace_sample_rate,
+                keep_slowest=config.trace_keep_slowest,
+                seed=config.seed)
+            self.tracer: Tracer = Tracer(journal=self.journal)
+        else:
+            self.journal = None
+            self.tracer = NULL_TRACER
         self.fleet = ChipFleet(num_chips=config.num_chips, chip=chip,
                                policy=config.routing, seed=config.seed)
         self._admission = AdmissionController(config.admission_policy())
@@ -282,31 +309,50 @@ class CryptoPimService:
         """Serve one request; resolves to a ServeResult or a Rejection."""
         self.metrics.counter("requests_submitted").inc()
         self.metrics.counter(f"requests.{request.kind.value}").inc()
-        rejection = self._validate(request)
-        if rejection is None:
-            state = self._queue_state(request)
-            rejection = self._admission.admit(request, state.queue.qsize())
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        # NULL_SPAN when tracing is off: every span call below no-ops
+        trace = self.tracer.start_trace(
+            "request", start_s=t0, request_id=request.request_id,
+            kind=request.kind.value, n=request.n, tenant=request.tenant,
+            priority=request.priority)
+        admit_span = trace.child("admit", start_s=t0)
+        try:
+            rejection = self._validate(request)
             if rejection is None:
-                loop = asyncio.get_running_loop()
-                pending = _Pending(request=request, enqueued_at=loop.time(),
-                                   future=loop.create_future())
-                # priority first, then arrival order within a priority class
-                state.queue.put_nowait(
-                    (request.priority, request.request_id, pending))
-                self._depth_gauge(state)
-                return await pending.future
+                state = self._queue_state(request)
+                rejection = self._admission.admit(
+                    request, state.queue.qsize(), span=admit_span)
+        finally:
+            # the admit span's close is the queue span's open: one shared
+            # stamp, so the trace decomposes the latency exactly
+            enqueued_at = loop.time()
+            admit_span.finish(end_s=enqueued_at)
+        if rejection is None:
+            pending = _Pending(request=request, enqueued_at=enqueued_at,
+                               future=loop.create_future(), trace=trace)
+            # priority first, then arrival order within a priority class
+            state.queue.put_nowait(
+                (request.priority, request.request_id, pending))
+            self._depth_gauge(state)
+            return await pending.future
         self.metrics.counter("requests_rejected").inc()
         self.metrics.counter(f"rejected.{rejection.reason.value}").inc()
+        trace.set(rejected=rejection.reason.value).finish(end_s=loop.time())
         return rejection
 
     # -- the drain loop -------------------------------------------------------
 
     async def _drain(self, state: _QueueState) -> None:
         kind, n = state.key
+        loop = asyncio.get_running_loop()
+        tracing = self.tracer.enabled
         while True:
             entries: List[Tuple[int, int, _Pending]] = []
+            dequeued_at: Optional[List[float]] = [] if tracing else None
             try:
-                await collect_batch(state.queue, state.window, out=entries)
+                await collect_batch(state.queue, state.window, out=entries,
+                                    dequeued_at=dequeued_at)
             except asyncio.CancelledError:
                 # shutdown mid-window: fail over whatever was already
                 # dequeued instead of dropping it silently
@@ -317,16 +363,21 @@ class CryptoPimService:
                             kind=kind, n=n,
                             reason=RejectReason.SHUTDOWN,
                             detail="service stopped mid-window"))
+                    pending.trace.set(
+                        rejected=RejectReason.SHUTDOWN.value).finish()
                 raise
             self._depth_gauge(state)
             pendings = [entry[2] for entry in entries]
-            close_time = asyncio.get_running_loop().time()
+            close_time = loop.time()
+            route_info: Optional[Dict[str, Any]] = {} if tracing else None
             try:
                 try:
-                    async with self.fleet.lease(n) as shard:
+                    async with self.fleet.lease(
+                            n, route_info=route_info) as shard:
                         mults = self._mult_equivalents(kind, pendings)
                         timing = shard.gate.timeline.dispatch(
                             n, mults * len(pendings))
+                        exec_start = loop.time()
                         started = time.perf_counter()
                         try:
                             values = self._execute(kind, n, pendings)
@@ -334,6 +385,7 @@ class CryptoPimService:
                             self._fail_batch(pendings, kind, n, error)
                             continue
                         service_s = time.perf_counter() - started
+                        exec_end = loop.time()
                         chip_index = shard.index
                 except FleetDrained:
                     # every chip is administratively drained: fail the
@@ -351,7 +403,7 @@ class CryptoPimService:
                                  reason=RejectReason.SHUTDOWN,
                                  detail="service stopped mid-dispatch")
                 raise
-            done_time = asyncio.get_running_loop().time()
+            done_time = loop.time()
             self.metrics.counter("batches_dispatched").inc()
             self.metrics.counter(f"fleet.dispatched.chip{chip_index}").inc()
             self.metrics.histogram("batch.size", unit="items").record(
@@ -374,8 +426,49 @@ class CryptoPimService:
                     chip=chip_index,
                 )
                 self._record_latency(result)
+                if tracing and pending.trace.enabled:
+                    self._trace_member(
+                        pending, i,
+                        dequeued_at if dequeued_at is not None else [],
+                        close_time, exec_start, exec_end, done_time,
+                        timing, chip_index, route_info)
                 if not pending.future.done():
                     pending.future.set_result(result)
+
+    def _trace_member(self, pending: _Pending, index: int,
+                      dequeued_at: List[float], close_time: float,
+                      exec_start: float, exec_end: float, done_time: float,
+                      timing: BatchTiming, chip: int,
+                      route_info: Optional[Dict[str, Any]]) -> None:
+        """Attach the batch's stage spans to one member's trace.
+
+        Every child is born finished from the *shared* stamps the drain
+        loop took once per batch, so consecutive spans meet at identical
+        floats and the root decomposes exactly: admit | queue | window |
+        lease | execute | (result fan-out gap).  The execute span carries
+        the chip-cycle interval the timeline charged for the whole batch
+        (reconfiguration rewiring as a zero-wall-length child).
+        """
+        trace = pending.trace
+        dequeued = (dequeued_at[index] if index < len(dequeued_at)
+                    else close_time)
+        trace.child("queue", start_s=pending.enqueued_at, end_s=dequeued)
+        trace.child("window", start_s=dequeued, end_s=close_time,
+                    batch_size=timing.count)
+        lease = trace.child("lease", start_s=close_time, end_s=exec_start)
+        if route_info:
+            lease.set(**route_info)
+        execute = trace.child(
+            "execute", start_s=exec_start, end_s=exec_end,
+            cycle_start=timing.clock_start, cycle_end=timing.end_cycle,
+            chip=chip, batch_seq=timing.seq, batch_size=timing.count,
+            n=timing.n, superbanks=timing.superbanks)
+        if timing.reconfiguration_cycles:
+            execute.child(
+                "reconfigure", start_s=exec_start, end_s=exec_start,
+                cycle_start=timing.clock_start, cycle_end=timing.start_cycle,
+                chip=chip, batch_seq=timing.seq)
+        trace.finish(end_s=done_time)
 
     def _record_latency(self, result: ServeResult) -> None:
         self.metrics.counter("requests_completed").inc()
@@ -398,6 +491,7 @@ class CryptoPimService:
                 pending.future.set_result(Rejection(
                     request_id=pending.request.request_id, kind=kind, n=n,
                     reason=reason, detail=detail))
+            pending.trace.set(rejected=reason.value).finish()
 
     # -- handlers -------------------------------------------------------------
 
@@ -481,6 +575,8 @@ class CryptoPimService:
                         kind=pending.request.kind, n=pending.request.n,
                         reason=RejectReason.SHUTDOWN,
                         detail="service stopped"))
+                pending.trace.set(
+                    rejected=RejectReason.SHUTDOWN.value).finish()
 
     async def __aenter__(self) -> "CryptoPimService":
         return self
@@ -494,9 +590,10 @@ class CryptoPimService:
         """Machine-readable service state: metrics + chip/fleet timelines.
 
         ``chip`` remains shard 0's timeline for single-chip compatibility;
-        ``fleet`` carries the aggregated multi-chip view.
+        ``fleet`` carries the aggregated multi-chip view; ``trace`` joins
+        in the journal's exact per-stage aggregates when tracing is on.
         """
-        return {
+        summary: Dict[str, Any] = {
             "metrics": self.metrics.snapshot(),
             "chip": self.gate.timeline.snapshot(),
             "fleet": self.fleet.snapshot(),
@@ -505,6 +602,27 @@ class CryptoPimService:
                 for (kind, n), state in self._queues.items()
             },
         }
+        if self.journal is not None:
+            summary["trace"] = self.journal.aggregates()
+        return summary
+
+    def trace_document(self) -> Dict[str, Any]:
+        """The Chrome trace-event / Perfetto export of the current journal
+        (retained traces + the merged metrics/trace-aggregate snapshot)."""
+        if self.journal is None:
+            raise RuntimeError(
+                "tracing is disabled; construct the service with "
+                "ServiceConfig(tracing=True)")
+        return export_chrome_trace(self.journal, self.metrics)
+
+    def write_trace(self, path: str) -> Dict[str, Any]:
+        """Write the trace-event export to ``path``; returns the document.
+        Open it in Perfetto (ui.perfetto.dev) or ``chrome://tracing``."""
+        if self.journal is None:
+            raise RuntimeError(
+                "tracing is disabled; construct the service with "
+                "ServiceConfig(tracing=True)")
+        return write_chrome_trace(path, self.journal, self.metrics)
 
     def render_summary(self) -> str:
         lines = [self.metrics.breakdown()]

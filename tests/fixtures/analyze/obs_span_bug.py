@@ -1,0 +1,54 @@
+"""Fixture: span-lifecycle bugs the OBS001 rule must flag.
+
+Two leaks, in the two shapes the rule recognises:
+
+* ``leaky_admit`` opens a span and finishes it only on the happy path -
+  any exception between open and close leaves the span open forever, so
+  the trace never reaches the journal.
+* ``fire_and_forget_child`` discards the child handle outright; nothing
+  can ever finish it.
+
+The ``_ok_*`` functions are controls covering every sanctioned closing
+shape (finally, with-statement, born-finished ``end_s=``, handoff) and
+must stay silent.
+"""
+
+
+def leaky_admit(tracer, request, gate):
+    span = tracer.start_span("admit", request_id=request)
+    verdict = gate.evaluate(request)  # may raise: span leaks
+    span.set(outcome=verdict)
+    span.finish()
+    return verdict
+
+
+def fire_and_forget_child(parent, work):
+    parent.child("lease")  # handle discarded: never finished
+    return work()
+
+
+def _ok_finally(tracer, work):
+    span = tracer.start_span("admit")
+    try:
+        return work()
+    finally:
+        span.finish()
+
+
+def _ok_with(parent, batch):
+    with parent.child("window") as span:
+        span.set(batch_size=batch)
+
+
+def _ok_born_finished(parent, t0, t1):
+    parent.child("queue", start_s=t0, end_s=t1)
+
+
+def _ok_handoff_return(tracer):
+    span = tracer.start_span("request")
+    return span
+
+
+def _ok_handoff_stored(tracer, pending):
+    span = tracer.start_span("request")
+    pending.trace = span

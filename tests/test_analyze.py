@@ -24,6 +24,7 @@ ALL_RULE_IDS = [
     "MOD001", "MOD002", "MOD003",
     "ASY001", "ASY002", "ASY003", "ASY004",
     "ACC001", "ACC002", "ACC003",
+    "OBS001",
 ]
 
 # fixture file -> exact multiset of rule ids the analyzer must report
@@ -34,6 +35,7 @@ EXPECTED = {
     "pim/width_bug.py": {"MOD001": 1, "MOD002": 1, "MOD003": 1},
     "service_cancel_bug.py": {"ASY002": 1, "ASY003": 1, "ASY004": 2},
     "counter_bug.py": {"ACC001": 3},
+    "obs_span_bug.py": {"OBS001": 2},
 }
 
 

@@ -350,6 +350,36 @@ class TestMetrics:
         assert "requests_completed" in text
         assert "latency.e2e" in text
 
+    def test_histogram_max_tracks_all_negative_samples(self):
+        """Regression: _max started at 0.0, so a histogram fed only
+        negative samples (drift, deficit) reported a spurious max of 0
+        instead of its true maximum (mirrors Gauge.high_water seeding)."""
+        hist = LatencyHistogram("clock_drift", unit="s")
+        hist.record(-5.0)
+        assert hist.summary()["max"] == -5.0
+        hist.record(-2.0)
+        hist.record(-9.0)
+        assert hist.summary()["max"] == -2.0
+        hist.record(3.0)
+        assert hist.summary()["max"] == 3.0
+
+    def test_snapshot_roundtrips_through_json_with_sorted_keys(self):
+        import json
+
+        registry = MetricsRegistry()
+        # register out of order: the export must sort deterministically
+        registry.counter("zeta").inc(2)
+        registry.counter("alpha").inc(1)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").record(0.25)
+        registry.histogram("batch", unit="items").record(8)
+        snap = registry.snapshot()
+        assert json.loads(registry.to_json()) == snap
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert list(snap["histograms"]) == ["batch", "lat"]
+        assert registry.to_json() == registry.to_json()  # stable rendering
+        assert snap["histograms"]["batch"]["unit"] == "items"
+
     def test_gauge_high_water_tracks_all_negative_values(self):
         """Regression: high_water started at 0.0, so a gauge that only
         ever saw negative levels reported a spurious high-water of 0."""
